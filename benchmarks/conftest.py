@@ -1,0 +1,24 @@
+"""Benchmark-harness helpers.
+
+Every ``benchmarks/test_e*.py`` file regenerates one experiment from
+EXPERIMENTS.md: it prints the table the paper's prose corresponds to
+(captured with ``pytest -s`` or via the CLI) and asserts the *shape* of
+the result — who wins, who detects, where the crossover is — while
+pytest-benchmark records the timing dimension.
+"""
+
+from __future__ import annotations
+
+
+def print_table(title: str, headers: list, rows: list) -> None:
+    """Render one experiment table to stdout."""
+    widths = [
+        max(len(str(headers[i])), *(len(str(row[i])) for row in rows)) if rows else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    line = "  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(row)))

@@ -1,0 +1,58 @@
+"""E10 — information leakage (§4.3, Listings 21–22).
+
+Claims: a short user string placed over the password-file pool leaves
+the remainder readable through ``store()``; a Student placed over a
+retired GradStudent leaves its SSNs readable.  The leak size falls as
+the attacker's own data grows (the sweep series), and sanitize-on-reuse
+eliminates it.
+"""
+
+from repro.attacks import (
+    SANITIZE,
+    UNPROTECTED,
+    ArrayInfoLeakAttack,
+    ObjectInfoLeakAttack,
+)
+
+from conftest import print_table
+
+
+def run_experiment():
+    sweep_rows = []
+    series = []
+    for length in (2, 16, 64, 128, 200, 250):
+        result = ArrayInfoLeakAttack(userdata="a" * length).run(UNPROTECTED)
+        series.append((length, result.detail["leaked_bytes"]))
+        sweep_rows.append((length, result.detail["leaked_bytes"]))
+    print_table(
+        "E10a: leaked password-file bytes vs attacker string length (Listing 21)",
+        ["userdata length", "leaked bytes"],
+        sweep_rows,
+    )
+
+    obj = ObjectInfoLeakAttack(ssn=(123, 45, 6789)).run(UNPROTECTED)
+    sanitized = ArrayInfoLeakAttack(userdata="ab").run(SANITIZE)
+    obj_sanitized = ObjectInfoLeakAttack().run(SANITIZE)
+    print_table(
+        "E10b: object leak and the sanitize-on-reuse countermeasure",
+        ["case", "leak"],
+        [
+            ("GradStudent ssn[] via store(st)", obj.detail["leaked_ssn"]),
+            ("array leak under sanitize-on-reuse", sanitized.detail["leaked_bytes"]),
+            ("object leak under sanitize-on-reuse", "prevented" if not obj_sanitized.succeeded else "LEAKED"),
+        ],
+    )
+    return series, obj, sanitized, obj_sanitized
+
+
+def test_e10_shape(benchmark):
+    series, obj, sanitized, obj_sanitized = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
+    # Monotone non-increasing leak as the attacker's data grows.
+    leaks = [leak for _, leak in series]
+    assert all(a >= b for a, b in zip(leaks, leaks[1:]))
+    assert leaks[0] > 200  # nearly the whole pool with a 2-byte string
+    assert obj.succeeded and obj.detail["leaked_ssn"] == [123, 45, 6789]
+    assert sanitized.detail["leaked_bytes"] == 0
+    assert not obj_sanitized.succeeded

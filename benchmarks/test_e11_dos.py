@@ -1,0 +1,60 @@
+"""E11 — denial of service through overflow (§4.4).
+
+Claims: inflating the overwritten loop bound blows up service time
+(modelled as a step budget); zeroing it bypasses the validation loop;
+allocating inside the loop exhausts memory.  The sweep shows the
+response-step curve versus the injected bound.
+"""
+
+from repro.attacks import (
+    UNPROTECTED,
+    AuthBypassAttack,
+    DosLoopAttack,
+    ResourceExhaustionAttack,
+)
+
+from conftest import print_table
+
+
+def run_experiment():
+    budget = 10_000
+    rows = []
+    series = []
+    for injected in (5, 100, 1_000, 10_000, 1_000_000):
+        result = DosLoopAttack(injected_n=injected, budget=budget).run(UNPROTECTED)
+        series.append((injected, result.detail["steps_executed"], result.succeeded))
+        rows.append(
+            (
+                injected,
+                result.detail["steps_executed"],
+                result.detail["outcome"],
+            )
+        )
+    print_table(
+        f"E11a: service steps vs injected loop bound (budget {budget})",
+        ["injected n", "steps executed", "outcome"],
+        rows,
+    )
+    bypass = AuthBypassAttack().run(UNPROTECTED)
+    oom = ResourceExhaustionAttack().run(UNPROTECTED)
+    print_table(
+        "E11b: the other two §4.4 payoffs",
+        ["attack", "outcome"],
+        [
+            ("auth bypass (n := 0)", f"{bypass.detail['checks_run']}/{bypass.detail['checks_expected']} checks ran"),
+            ("resource exhaustion", f"OOM after {oom.detail['allocations_before_oom']} allocations"),
+        ],
+    )
+    return series, bypass, oom
+
+
+def test_e11_shape(benchmark):
+    series, bypass, oom = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    served = [row for row in series if not row[2]]
+    timed_out = [row for row in series if row[2]]
+    # Crossover: bounds within budget are served; beyond it, timeout.
+    assert all(bound <= 10_000 for bound, _, _ in served)
+    assert all(bound > 10_000 for bound, _, _ in timed_out)
+    assert timed_out, "the big bound must blow the budget"
+    assert bypass.succeeded and bypass.detail["checks_run"] == 0
+    assert oom.succeeded

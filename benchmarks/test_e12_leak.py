@@ -1,0 +1,55 @@
+"""E12 — memory leaks from placement new (§4.5, Listing 23).
+
+Claims: each loop pass leaks exactly ``sizeof(GradStudent) −
+sizeof(Student)`` bytes; the growth is linear until the heap dies; and
+the paper's corrected disciplines (arena-owner protocol, equal-size
+rule) leak nothing.
+"""
+
+from repro.attacks import UNPROTECTED, MemoryLeakAttack, TrackedLeakMeasurement
+from repro.defenses import run_leak_comparison
+
+from conftest import print_table
+
+
+def run_experiment():
+    growth_rows = []
+    series = []
+    for iterations in (10, 50, 100, 500):
+        result = TrackedLeakMeasurement(iterations=iterations).run(UNPROTECTED)
+        series.append((iterations, result.detail["total_leaked"]))
+        growth_rows.append(
+            (iterations, result.detail["leak_per_iteration"], result.detail["total_leaked"])
+        )
+    print_table(
+        "E12a: leaked bytes vs iterations (Listing 23)",
+        ["iterations", "leak/iter", "total leaked"],
+        growth_rows,
+    )
+
+    exhaustion = MemoryLeakAttack(until_exhaustion=True).run(UNPROTECTED)
+    comparison = run_leak_comparison(iterations=50)
+    print_table(
+        "E12b: leak disciplines (§4.5/§5.1 ablation)",
+        ["discipline", "iterations", "leaked bytes", "refused"],
+        [
+            (o.discipline, o.iterations, o.leaked_bytes, o.refused)
+            for o in comparison
+        ]
+        + [("until heap exhaustion", exhaustion.detail["iterations"], exhaustion.detail["total_leaked"], 0)],
+    )
+    return series, exhaustion, comparison
+
+
+def test_e12_shape(benchmark):
+    series, exhaustion, comparison = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
+    # Linear growth at exactly 16 bytes per iteration.
+    for iterations, leaked in series:
+        assert leaked == iterations * 16
+    assert exhaustion.detail["heap_exhausted"]
+    outcomes = {o.discipline: o for o in comparison}
+    assert outcomes["as-written (Listing 23)"].leaked_bytes == 800
+    assert outcomes["arena-owner protocol"].leaked_bytes == 0
+    assert outcomes["equal-size-only"].leaked_bytes == 0

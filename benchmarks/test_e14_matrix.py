@@ -1,0 +1,104 @@
+"""E14 — the attack × defense matrix (§5).
+
+Claims reproduced as one table: everything wins unprotected; StackGuard
+is blind to placement-new object overflows; the §5.1 checked placement
+stops every overflow-based attack; sanitize-on-reuse stops the
+information leaks; NX stops only code injection; shadow-memory red zones
+catch the stray writes.
+"""
+
+import pytest
+
+from repro.attacks import all_attacks
+from repro.defenses import ALL_DEFENSES, LibSafePlacementGuard, evaluate_matrix
+
+
+def run_experiment():
+    matrix = evaluate_matrix(all_attacks(), ALL_DEFENSES)
+    print()
+    print(matrix.render(column_width=24))
+    return matrix
+
+
+def test_e14_shape(benchmark):
+    matrix = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    total = len(matrix.attack_names())
+
+    # Baseline: the paper demonstrated every attack.
+    assert matrix.wins_for_defense("none") == total
+
+    # StackGuard: blind to the placement-new attacks; it only stops the
+    # naive strncpy smash inside the two-step stack attack.
+    stackguard_wins = matrix.wins_for_defense("stackguard")
+    assert stackguard_wins >= total - 2
+
+    # Correct coding (§5.1): every overflow-driven attack is blocked;
+    # only the leak measurements (different countermeasure) remain.
+    checked_wins = matrix.wins_for_defense("checked-placement")
+    assert checked_wins <= 5
+    leak_cell = matrix.cell("memory-leak", "checked-placement")
+    assert leak_cell.result.succeeded  # bounds checks don't fix leaks
+
+    # Sanitize-on-reuse stops exactly the info leaks.
+    assert not matrix.cell("info-leak-array", "sanitize-on-reuse").result.succeeded
+    assert not matrix.cell("info-leak-object", "sanitize-on-reuse").result.succeeded
+
+    # NX: code injection only.
+    assert not matrix.cell("code-injection", "nx-stack").result.succeeded
+    assert matrix.cell("arc-injection", "nx-stack").result.succeeded
+
+    # Shadow memory catches the overflow writes.
+    assert not matrix.cell("data-bss-overflow", "shadow-memory").result.succeeded
+
+    # The §5.2 return-address stack stops what StackGuard cannot: the
+    # selective overwrite inside stack-return-address and both injections.
+    assert not matrix.cell("stack-return-address", "shadow-ret-stack").result.succeeded
+    assert not matrix.cell("arc-injection", "shadow-ret-stack").result.succeeded
+    # ... but it says nothing about data-only attacks.
+    assert matrix.cell("data-bss-overflow", "shadow-ret-stack").result.succeeded
+
+    # Forward-edge CFI stops exactly the vtable subterfuge.
+    assert not matrix.cell("vtable-subterfuge-bss", "vtable-integrity").result.succeeded
+    assert not matrix.cell("vtable-subterfuge-stack", "vtable-integrity").result.succeeded
+    assert matrix.cell("stack-return-address", "vtable-integrity").result.succeeded
+
+
+def test_e14b_libsafe_coverage_gap(benchmark):
+    """§5.2's library-interception caveat, measured: the guard blocks
+    every placement whose arena it can identify, but a raw interior
+    address — 'just an address, not a lexically declared array' — sails
+    through unchecked."""
+    from repro.core import new_object
+    from repro.errors import BoundsCheckViolation
+    from repro.memory import SegmentKind
+    from repro.runtime import Machine
+    from repro.workloads import make_student_classes
+
+    def run_guarded_placements():
+        machine = Machine()
+        student, grad = make_student_classes()
+        guard = LibSafePlacementGuard(machine)
+        blocked = 0
+        # 1) arena known via tracker: oversize placement → blocked.
+        small = machine.static_object(student, "small")
+        try:
+            guard.place(small.address, grad)
+        except BoundsCheckViolation:
+            blocked += 1
+        # 2) arena known, placement fits → allowed.
+        big = new_object(machine, grad)
+        guard.place(big.address, student)
+        # 3) raw interior address: the blind spot.
+        interior = machine.space.segment(SegmentKind.BSS).base + 100
+        guard.place(interior, grad)
+        return guard.coverage_report(), blocked
+
+    report, blocked = benchmark.pedantic(
+        run_guarded_placements, rounds=1, iterations=1
+    )
+    print(f"\n=== E14b: libsafe-style interception coverage ===\n{report}")
+    assert blocked == 1
+    assert report["placements"] == 3
+    assert report["blind_spots"] == 1
+    assert report["coverage"] == pytest.approx(2 / 3)
+

@@ -1,0 +1,55 @@
+"""E16 (extension) — interprocedural precision ablation.
+
+The paper frames the hard case explicitly (§3.3/§5.1): the data-flow
+path from the attacker to the placement site may be *inter-procedural*,
+and a placement often sees only a bare pointer.  This experiment
+measures what bounded call-inlining buys the detector: helper-mediated
+placements go from an info-grade "unknown arena" to a decided verdict.
+"""
+
+from repro.analysis import Severity, analyze_source, parse
+from repro.analysis.detector import PlacementNewDetector
+from repro.workloads.corpus import INTERPROC_CORPUS
+
+from conftest import print_table
+
+
+def run_experiment():
+    rows = []
+    outcomes = {}
+    for program in INTERPROC_CORPUS:
+        inter = PlacementNewDetector(
+            parse(program.source), interprocedural=True
+        ).analyze()
+        intra = PlacementNewDetector(
+            parse(program.source), interprocedural=False
+        ).analyze()
+        outcomes[program.key] = (inter, intra)
+        rows.append(
+            (
+                program.key,
+                "FLAGGED" if intra.flagged else "-",
+                "FLAGGED" if inter.flagged else "-",
+                ", ".join(sorted(r for r in inter.rules_fired() if r != "PN-UNKNOWN-ARENA")) or "-",
+            )
+        )
+    print_table(
+        "E16: intra-only vs interprocedural detection",
+        ["program", "intra-only", "interprocedural", "decided rules"],
+        rows,
+    )
+    return outcomes
+
+
+def test_e16_shape(benchmark):
+    outcomes = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    inter_helper, intra_helper = outcomes["interproc-helper-placement"]
+    # Interprocedural analysis decides what intra-only could not.
+    assert inter_helper.flagged
+    assert not intra_helper.flagged
+    assert "PN-OVERSIZE" in inter_helper.rules_fired()
+    # The safe helper stays clean in both modes (no precision-for-noise
+    # trade).
+    inter_safe, intra_safe = outcomes["interproc-safe-helper"]
+    assert not inter_safe.at_least(Severity.WARNING)
+    assert not intra_safe.at_least(Severity.WARNING)

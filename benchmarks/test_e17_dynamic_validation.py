@@ -1,0 +1,126 @@
+"""E17 (extension) — static findings validated by dynamic execution.
+
+The corpus listings are both *analyzed* (static detector) and *executed*
+(MiniC++ interpreter on the simulator).  For each listing the table
+shows the detector's verdict next to the anomaly execution actually
+exhibited — overflowing placement, control-flow hijack, leak bytes,
+exfiltrated secrets.  Agreement on every row is the strongest evidence
+the detector reports real, exploitable defects rather than patterns.
+"""
+
+from repro.analysis import analyze_source
+from repro.errors import StackSmashingDetected
+from repro.execution import run_source
+from repro.runtime import CanaryPolicy, Machine, MachineConfig, password_file
+from repro.workloads.corpus import (
+    LISTING_11,
+    LISTING_12,
+    LISTING_13,
+    LISTING_15,
+    LISTING_21,
+    LISTING_22,
+    LISTING_23,
+    SAFE_PLACEMENT,
+)
+
+from conftest import print_table
+
+
+def _plain():
+    return Machine(
+        MachineConfig(canary_policy=CanaryPolicy.NONE, save_frame_pointer=True)
+    )
+
+
+def _dynamic_anomaly(key):
+    """Execute one listing; return a short description of what happened."""
+    if key == "listing11":
+        interp, _ = run_source(
+            LISTING_11.source, entry="addStudent", args=(True,), stdin=(1, 2, 777)
+        )
+        stud2 = interp.globals.lookup("stud2")
+        year = interp.machine.space.read_int(stud2.address + 8)
+        return ("neighbour corrupted", year == 777)
+    if key == "listing12":
+        interp, _ = run_source(LISTING_12.source, stdin=(1, 2, 3))
+        return ("heap neighbour + metadata", interp.machine.heap.is_corrupted())
+    if key == "listing13":
+        machine = _plain()
+        target = machine.text.function_named("system").address
+        _, outcome = run_source(
+            LISTING_13.source,
+            entry="addStudent",
+            args=(True,),
+            machine=machine,
+            stdin=(-1, target, -1),
+        )
+        return ("return hijacked", outcome.frame_exit.hijacked)
+    if key == "listing15":
+        machine = _plain()
+        _, outcome = run_source(
+            LISTING_15.source,
+            entry="addStudent",
+            args=(True,),
+            machine=machine,
+            stdin=(100,),
+        )
+        return ("loop bound rewritten", outcome.steps > 100)
+    if key == "listing21":
+        machine = Machine()
+        machine.files.add(password_file())
+        interp, _ = run_source(LISTING_21.source, machine=machine)
+        return ("secret exfiltrated", b"$6$" in interp.stored[0][1])
+    if key == "listing22":
+        interp, _ = run_source(LISTING_22.source)
+        return ("object residue exfiltrated", len(interp.stored[0][1]) == 32)
+    if key == "listing23":
+        interp, _ = run_source(LISTING_23.source, entry="addStudents", args=(10,))
+        return ("bytes leaked", interp.machine.tracker.leaked_bytes == 80)
+    if key == "safe":
+        interp, _ = run_source(SAFE_PLACEMENT.source, entry="recycle", args=())
+        return ("no anomaly", not interp.machine.placement_log.overflowing())
+    raise KeyError(key)
+
+
+CASES = [
+    ("listing11", LISTING_11),
+    ("listing12", LISTING_12),
+    ("listing13", LISTING_13),
+    ("listing15", LISTING_15),
+    ("listing21", LISTING_21),
+    ("listing22", LISTING_22),
+    ("listing23", LISTING_23),
+    ("safe", SAFE_PLACEMENT),
+]
+
+
+def run_experiment():
+    rows = []
+    agreements = []
+    for key, program in CASES:
+        static_flagged = analyze_source(program.source).flagged
+        anomaly_label, anomaly_observed = _dynamic_anomaly(key)
+        agree = static_flagged == anomaly_observed if key != "safe" else (
+            not static_flagged and anomaly_observed
+        )
+        agreements.append(agree)
+        rows.append(
+            (
+                program.key,
+                "FLAGGED" if static_flagged else "clean",
+                anomaly_label,
+                "observed" if anomaly_observed else "-",
+                "agree" if agree else "DISAGREE",
+            )
+        )
+    print_table(
+        "E17: static verdict vs dynamic observation, same source",
+        ["listing", "static", "dynamic anomaly", "dynamic", "verdict"],
+        rows,
+    )
+    return agreements
+
+
+def test_e17_shape(benchmark):
+    agreements = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    assert all(agreements), "static and dynamic verdicts must agree on every row"

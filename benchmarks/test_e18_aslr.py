@@ -1,0 +1,38 @@
+"""E18 (extension) — the address-knowledge assumption, quantified.
+
+Every control-flow attack in the paper supplies a concrete address
+(libc ``system``, a fake vtable, shellcode on the stack).  This
+experiment randomizes the victim's image layout per process and replays
+the Listing 13 hijack with a stale recon address: the vulnerability
+still corrupts memory, but the payoff becomes a (256-slot) lottery —
+almost always a crash instead of a shell.
+"""
+
+from repro.defenses.aslr import run_aslr_comparison
+
+from conftest import print_table
+
+TRIALS = 40
+
+
+def run_experiment():
+    results = run_aslr_comparison(trials=TRIALS)
+    print_table(
+        "E18: stale-address hijack success, deterministic vs ASLR image",
+        ["layout", "success rate", "crashes"],
+        [
+            ("deterministic (paper's assumption)", f"{results['deterministic_success_rate']:.0%}", 0),
+            ("ASLR (256 slots)", f"{results['aslr_success_rate']:.0%}", results["aslr_crash_count"]),
+        ],
+    )
+    return results
+
+
+def test_e18_shape(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    # Deterministic layout: the paper's attacks always land.
+    assert results["deterministic_success_rate"] == 1.0
+    # ASLR: success collapses toward 1/256; with 40 trials virtually all
+    # attempts crash the victim instead.
+    assert results["aslr_success_rate"] <= 0.1
+    assert results["aslr_crash_count"] >= TRIALS * 0.8

@@ -1,0 +1,62 @@
+"""E19 (extension) — detector quality and throughput at scale.
+
+The hand corpus (E13) shows the detector handles the paper's 15
+listings; E19 measures it against *generated* program families with
+known ground truth — precision/recall over 120 programs across four
+structural shapes — and times the analyzer to characterize throughput.
+"""
+
+from repro.analysis import analyze_source
+from repro.workloads.generators import generate_corpus, score_detector
+
+from conftest import print_table
+
+CORPUS_SIZE = 120
+
+
+def run_experiment():
+    programs = generate_corpus(seed=20110613, count=CORPUS_SIZE)
+    score = score_detector(programs, lambda src: analyze_source(src).flagged)
+    by_shape: dict = {}
+    for program in programs:
+        stats = by_shape.setdefault(program.shape, [0, 0])
+        stats[0] += 1
+        if analyze_source(program.source).flagged == program.vulnerable:
+            stats[1] += 1
+    rows = [
+        (shape, total, correct, f"{correct / total:.0%}")
+        for shape, (total, correct) in sorted(by_shape.items())
+    ]
+    rows.append(("TOTAL", CORPUS_SIZE, score.true_positives + score.true_negatives, ""))
+    print_table(
+        "E19: detector vs generated ground truth",
+        ["shape", "programs", "correct", "accuracy"],
+        rows,
+    )
+    print_table(
+        "E19 totals",
+        ["metric", "value"],
+        [
+            ("precision", f"{score.precision:.3f}"),
+            ("recall", f"{score.recall:.3f}"),
+            ("false positives", score.false_positives),
+            ("false negatives", score.false_negatives),
+        ],
+    )
+    return score
+
+
+def test_e19_shape(benchmark):
+    score = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    assert score.precision == 1.0
+    assert score.recall == 1.0
+
+
+def test_e19_analyzer_throughput(benchmark):
+    programs = generate_corpus(seed=42, count=20)
+
+    def analyze_batch():
+        for program in programs:
+            analyze_source(program.source)
+
+    benchmark(analyze_batch)

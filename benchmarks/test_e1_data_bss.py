@@ -1,0 +1,47 @@
+"""E1 — data/bss overflow (§3.5, Listing 11).
+
+Claim: placing a GradStudent at bss ``stud1`` and feeding ``ssn[]`` from
+input rewrites the adjacent ``stud2``'s ``gpa``.
+"""
+
+from repro.attacks import UNPROTECTED, DataBssOverflowAttack
+
+from conftest import print_table
+
+
+def run_experiment():
+    rows = []
+    cases = [
+        ("paper inputs", (0x11111111, 0x22222222, 777)),
+        ("zero ssn", (0, 0, 0)),
+        ("max words", (0x7FFFFFFF, 0x7FFFFFFF, 0x7FFFFFFF)),
+    ]
+    results = []
+    for label, ssn in cases:
+        result = DataBssOverflowAttack(ssn_inputs=ssn).run(UNPROTECTED)
+        results.append((label, result))
+        rows.append(
+            (
+                label,
+                result.detail["gpa_before"],
+                f"{result.detail['gpa_after']:.6g}",
+                result.succeeded,
+            )
+        )
+    print_table(
+        "E1: data/bss overflow — stud2.gpa before/after (Listing 11)",
+        ["inputs", "gpa before", "gpa after", "corrupted"],
+        rows,
+    )
+    return results
+
+
+def test_e1_shape(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    by_label = dict(results)
+    # Paper shape: attacker-chosen words land in the neighbour's gpa.
+    assert by_label["paper inputs"].succeeded
+    assert by_label["paper inputs"].detail["matches_injected_bytes"]
+    assert by_label["max words"].succeeded
+    # All-zero ssn writes 0.0 over gpa 3.5 — still corruption.
+    assert by_label["zero ssn"].succeeded

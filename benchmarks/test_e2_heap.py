@@ -1,0 +1,33 @@
+"""E2 — heap overflow (§3.5.1, Listing 12).
+
+Claim: the placed object's ``ssn[]`` rewrites the adjacent heap ``name``
+buffer (and, on a real allocator, the boundary tag between them).
+"""
+
+from repro.attacks import UNPROTECTED, HeapOverflowAttack
+
+from conftest import print_table
+
+
+def run_experiment():
+    result = HeapOverflowAttack().run(UNPROTECTED)
+    print_table(
+        "E2: heap overflow — name[] before/after (Listing 12)",
+        ["field", "value"],
+        [
+            ("name before", result.detail["name_before"]),
+            ("name after", result.detail["name_after"]),
+            ("heap metadata corrupted", result.detail["heap_metadata_corrupted"]),
+            ("bytes between objects", result.detail["overflow_gap"]),
+        ],
+    )
+    return result
+
+
+def test_e2_shape(benchmark):
+    result = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    assert result.succeeded
+    assert result.detail["name_before"] == "abcdefghijklmno"
+    # The allocator's in-band header sits between the two payloads and
+    # is trampled on the way — the realistic collateral damage.
+    assert result.detail["heap_metadata_corrupted"]

@@ -1,0 +1,68 @@
+"""E3 — stack overflow index arithmetic (§3.6.1, Listing 13).
+
+Claim: which ``ssn[i]`` word reaches the return address depends on the
+frame shape — i=0 with neither FP nor canary, i=1 with FP, i=2 with FP
+and canary.
+"""
+
+from repro.core import placement_new
+from repro.runtime import CanaryPolicy, Machine, MachineConfig
+from repro.workloads import make_student_classes
+
+from conftest import print_table
+
+
+def frame_mapping(save_fp: bool, canary: bool):
+    machine = Machine(
+        MachineConfig(
+            canary_policy=CanaryPolicy.RANDOM if canary else CanaryPolicy.NONE,
+            save_frame_pointer=save_fp,
+        )
+    )
+    student_cls, grad_cls = make_student_classes()
+    frame = machine.push_frame("addStudent")
+    stud = frame.local_object(student_cls, "stud")
+    gs = placement_new(machine, stud, grad_cls)
+    hits = []
+    for index in range(3):
+        address = gs.element_address("ssn", index)
+        if address == frame.slots.return_slot:
+            hits.append("RET")
+        elif frame.slots.fp_slot is not None and address == frame.slots.fp_slot:
+            hits.append("FP")
+        elif (
+            frame.slots.canary_slot is not None
+            and address == frame.slots.canary_slot
+        ):
+            hits.append("CANARY")
+        else:
+            hits.append("-")
+    return hits
+
+
+def run_experiment():
+    configs = [
+        ("no FP, no canary", False, False),
+        ("FP saved", True, False),
+        ("FP + canary", True, True),
+    ]
+    rows = []
+    outcome = {}
+    for label, save_fp, canary in configs:
+        hits = frame_mapping(save_fp, canary)
+        outcome[label] = hits
+        rows.append((label, hits[0], hits[1], hits[2]))
+    print_table(
+        "E3: which ssn[i] hits which frame slot (Listing 13)",
+        ["frame shape", "ssn[0]", "ssn[1]", "ssn[2]"],
+        rows,
+    )
+    return outcome
+
+
+def test_e3_shape(benchmark):
+    outcome = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    # The paper's exact mapping.
+    assert outcome["no FP, no canary"][0] == "RET"
+    assert outcome["FP saved"] == ["FP", "RET", "-"]
+    assert outcome["FP + canary"] == ["CANARY", "FP", "RET"]

@@ -1,0 +1,48 @@
+"""E4 — the StackGuard experiment (§3.6.1 + §5.2).
+
+Claim: the naive smash aborts with "stack smashing detected"; the
+selective overwrite — non-positive inputs skipping the canary and FP —
+reaches the attacker's target with the canary intact.
+"""
+
+from repro.attacks import STACKGUARD, UNPROTECTED, naive_smash, selective_overwrite
+
+from conftest import print_table
+
+
+def run_experiment():
+    rows = []
+    outcomes = {}
+    for env in (UNPROTECTED, STACKGUARD):
+        for build in (naive_smash, lambda: selective_overwrite(env)):
+            attack = build()
+            result = attack.run(env)
+            outcomes[(env.label, attack.name)] = result
+            rows.append(
+                (
+                    env.label,
+                    attack.name,
+                    "yes" if result.succeeded else "no",
+                    result.detected_by or "-",
+                    result.detail.get("canary_intact", "-"),
+                )
+            )
+    print_table(
+        "E4: naive vs selective overwrite under StackGuard (§5.2)",
+        ["build", "attack", "shell?", "detected by", "canary intact"],
+        rows,
+    )
+    return outcomes
+
+
+def test_e4_shape(benchmark):
+    outcomes = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    # Unprotected: both variants win.
+    assert outcomes[("unprotected", "stack-naive-smash")].succeeded
+    assert outcomes[("unprotected", "stack-selective-overwrite")].succeeded
+    # StackGuard: naive detected, selective evades with canary intact.
+    naive = outcomes[("stackguard", "stack-naive-smash")]
+    selective = outcomes[("stackguard", "stack-selective-overwrite")]
+    assert naive.detected_by == "stackguard"
+    assert selective.succeeded
+    assert selective.detail["canary_intact"] is True

@@ -1,0 +1,47 @@
+"""E5 — arc and code injection (§3.6.2).
+
+Claim: both reach attacker code on the unprotected build; NX stops code
+injection but not arc injection (return-to-libc).
+"""
+
+from repro.attacks import (
+    NX_STACK,
+    UNPROTECTED,
+    ArcInjectionAttack,
+    CodeInjectionAttack,
+)
+
+from conftest import print_table
+
+
+def run_experiment():
+    rows = []
+    outcomes = {}
+    for env in (UNPROTECTED, NX_STACK):
+        for attack_cls in (ArcInjectionAttack, CodeInjectionAttack):
+            result = attack_cls().run(env)
+            outcomes[(env.label, result.name)] = result
+            rows.append(
+                (
+                    env.label,
+                    result.name,
+                    "yes" if result.succeeded else "no",
+                    result.detected_by or ("crash" if result.crashed else "-"),
+                )
+            )
+    print_table(
+        "E5: arc vs code injection, with and without NX (§3.6.2)",
+        ["build", "attack", "shell?", "stopped by"],
+        rows,
+    )
+    return outcomes
+
+
+def test_e5_shape(benchmark):
+    outcomes = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    assert outcomes[("unprotected", "arc-injection")].succeeded
+    assert outcomes[("unprotected", "code-injection")].succeeded
+    # The classic split: NX stops injected code, not reused code.
+    assert outcomes[("nx", "arc-injection")].succeeded
+    nx_code = outcomes[("nx", "code-injection")]
+    assert not nx_code.succeeded and nx_code.detected_by == "nx"

@@ -1,0 +1,52 @@
+"""E6 — variable modification and the alignment analysis (§3.7).
+
+Claims: a bss global adjacent to the overflowed object is rewritten
+(Listing 14); a stack local ``int n`` is rewritten by ``ssn[1]`` while
+``ssn[0]`` lands in the 4-byte padding hole (Listing 15).
+"""
+
+from repro.attacks import (
+    UNPROTECTED,
+    DataVariableAttack,
+    StackLocalVariableAttack,
+)
+
+from conftest import print_table
+
+
+def run_experiment():
+    data_result = DataVariableAttack(injected_count=1_000_000).run(UNPROTECTED)
+    stack_result = StackLocalVariableAttack(injected_n=7777).run(UNPROTECTED)
+    print_table(
+        "E6: variable overwrites (Listings 14-15)",
+        ["victim", "before", "after ssn[0]", "after ssn[1]", "padding"],
+        [
+            (
+                "bss noOfStudents",
+                data_result.detail["count_before"],
+                "-",
+                data_result.detail["count_after"],
+                "-",
+            ),
+            (
+                "stack local n",
+                5,
+                stack_result.detail["n_after_ssn0"],
+                stack_result.detail["n_after_ssn1"],
+                stack_result.detail["padding_above_stud"],
+            ),
+        ],
+    )
+    return data_result, stack_result
+
+
+def test_e6_shape(benchmark):
+    data_result, stack_result = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
+    assert data_result.succeeded
+    assert data_result.detail["count_after"] == 1_000_000
+    # The paper's alignment paragraph, verbatim in numbers:
+    assert stack_result.detail["padding_above_stud"] == 4
+    assert stack_result.detail["n_after_ssn0"] == 5      # padding absorbed it
+    assert stack_result.detail["n_after_ssn1"] == 7777   # ssn[1] hit n

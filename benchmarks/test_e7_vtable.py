@@ -1,0 +1,44 @@
+"""E7 — member overwrite and vtable-pointer subterfuge (§3.8).
+
+Claims: a neighbouring object's member is rewritten (Listing 16); with
+virtual classes the neighbour's vptr is the first word hit, letting the
+attacker invoke arbitrary methods or crash the program (§3.8.2).
+"""
+
+from repro.attacks import (
+    UNPROTECTED,
+    MemberVariableAttack,
+    VtableSubterfugeDataAttack,
+    VtableSubterfugeStackAttack,
+)
+
+from conftest import print_table
+
+
+def run_experiment():
+    member = MemberVariableAttack().run(UNPROTECTED)
+    vtable_hijack = VtableSubterfugeDataAttack(fake_vtable=True).run(UNPROTECTED)
+    vtable_crash = VtableSubterfugeDataAttack(fake_vtable=False).run(UNPROTECTED)
+    vtable_stack = VtableSubterfugeStackAttack().run(UNPROTECTED)
+    print_table(
+        "E7: object modification and vtable subterfuge (§3.8)",
+        ["attack", "outcome"],
+        [
+            ("member overwrite (L16)", f"first.gpa {member.detail['gpa_before']} -> {member.detail['gpa_after']:.6g}"),
+            ("vptr subterfuge via bss", vtable_hijack.detail["outcome"]),
+            ("vptr garbage via bss", vtable_crash.detail["outcome"]),
+            ("vptr subterfuge via stack", f"dispatched to {vtable_stack.detail['dispatched_to']}"),
+        ],
+    )
+    return member, vtable_hijack, vtable_crash, vtable_stack
+
+
+def test_e7_shape(benchmark):
+    member, hijack, crash, stack = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
+    assert member.succeeded
+    # Both §3.8.2 payoffs: arbitrary method invocation and crash.
+    assert hijack.succeeded and "system" in hijack.detail["outcome"]
+    assert crash.succeeded and "crash" in crash.detail["outcome"]
+    assert stack.succeeded and stack.detail["privileged"]

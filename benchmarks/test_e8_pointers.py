@@ -1,0 +1,41 @@
+"""E8 — function- and variable-pointer subterfuge (§3.9–3.10).
+
+Claims: a NULL-guarded function pointer is rewritten *and thereby
+enabled* (Listing 17); a ``char*`` global is redirected to an attacker
+address, changing what later code reads or crashing it (Listing 18).
+"""
+
+from repro.attacks import (
+    UNPROTECTED,
+    FunctionPointerAttack,
+    VariablePointerAttack,
+)
+
+from conftest import print_table
+
+
+def run_experiment():
+    fn = FunctionPointerAttack().run(UNPROTECTED)
+    var_secret = VariablePointerAttack(redirect_to_secret=True).run(UNPROTECTED)
+    var_crash = VariablePointerAttack(redirect_to_secret=False).run(UNPROTECTED)
+    print_table(
+        "E8: pointer subterfuge (Listings 17-18)",
+        ["attack", "pointer after", "effect"],
+        [
+            ("function pointer", fn.detail["pointer_value"], f"invoked {fn.detail['invoked']}"),
+            ("variable pointer → secret", var_secret.detail["pointer_after"], var_secret.detail["dereference"]),
+            ("variable pointer → garbage", var_crash.detail["pointer_after"], var_crash.detail["dereference"]),
+        ],
+    )
+    return fn, var_secret, var_crash
+
+
+def test_e8_shape(benchmark):
+    fn, var_secret, var_crash = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
+    assert fn.succeeded and fn.detail["invoked"] == "grantAdminAccess"
+    assert fn.detail["guard_blocked_before"]  # was NULL: never callable
+    assert var_secret.succeeded
+    assert var_secret.detail["dereference"] == "TOPSECRETTOKEN"
+    assert var_crash.detail["dereference"] == "SIGSEGV"

@@ -1,0 +1,51 @@
+"""E9 — the two-step array overflow (§4, Listings 19–20).
+
+Claims: step 1 (object overflow) rewrites ``n_unames`` *after* the
+program's own validation; step 2's perfectly ordinary ``strncpy`` then
+runs past the pool — to the return address on the stack, or over
+neighbouring globals in bss.
+"""
+
+from repro.attacks import (
+    UNPROTECTED,
+    BssArrayOverflowAttack,
+    StackArrayOverflowAttack,
+)
+
+from conftest import print_table
+
+
+def run_experiment():
+    stack = StackArrayOverflowAttack(n_students=8).run(UNPROTECTED)
+    bss = BssArrayOverflowAttack(n_students=8).run(UNPROTECTED)
+    print_table(
+        "E9: two-step array overflow (Listings 19-20)",
+        ["variant", "pool", "n_unames after step1", "copy len", "result"],
+        [
+            (
+                "stack",
+                stack.detail["pool_size"],
+                stack.detail["n_unames_after_step1"],
+                stack.detail["copy_len"],
+                "return hijacked" if stack.detail["hijacked"] else "no hijack",
+            ),
+            (
+                "bss",
+                bss.detail["pool_size"],
+                bss.detail["n_unames_after_step1"],
+                bss.detail["copy_len"],
+                f"n_staff -> {bss.detail['n_staff_after']}",
+            ),
+        ],
+    )
+    return stack, bss
+
+
+def test_e9_shape(benchmark):
+    stack, bss = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    # Step 1 inflated the count past the validated bound.
+    assert stack.detail["n_unames_after_step1"] > 8
+    # Step 2 copies more than the pool holds.
+    assert stack.detail["copy_len"] > stack.detail["pool_size"]
+    assert stack.succeeded and stack.detail["hijacked"]
+    assert bss.succeeded and bss.detail["n_staff_after"] != 25

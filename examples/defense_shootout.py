@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Every attack against every defense — the paper's Section 5 in one table.
+
+Runs the full attack gallery (26 scenarios from Sections 3–4) against the
+six hardening configurations and prints the matrix, followed by the
+Section 5.2 StackGuard experiment in detail.
+
+Run:  python examples/defense_shootout.py
+"""
+
+from repro.attacks import STACKGUARD, CanarySkipExperiment, all_attacks
+from repro.defenses import ALL_DEFENSES, evaluate_matrix
+
+
+def main() -> None:
+    print("running", len(all_attacks()), "attacks x", len(ALL_DEFENSES), "defenses...")
+    matrix = evaluate_matrix(all_attacks(), ALL_DEFENSES)
+    print()
+    print(matrix.render(column_width=24))
+    print()
+
+    print("— the §5.2 StackGuard experiment, in detail —")
+    experiment = CanarySkipExperiment().run(STACKGUARD)
+    print(" naive smash:        ", experiment.detail["naive"])
+    print(" selective overwrite:", experiment.detail["selective"])
+    print(
+        " canary intact after selective overwrite:",
+        experiment.detail["selective_canary_intact"],
+    )
+    print()
+    print(
+        "reading the table: StackGuard stops only the naive strncpy smash;\n"
+        "every placement-new object overflow walks straight past it.  The\n"
+        "§5.1 checked placement stops all overflow-driven attacks but not\n"
+        "the information leaks (sanitize-on-reuse's job) or the Listing 23\n"
+        "leak (placement delete / arena-owner protocol's job)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Forensics on an information leak (paper §4.3, Listings 21–22).
+
+Reads a password file into a pool, lets a "user" place a short string
+over it, and then plays the investigator: dumps what ``store()`` would
+exfiltrate, measures the residue, and shows how full and partial
+sanitization (§5.1) change the picture — including the padding-hole
+subtlety the paper warns about.
+
+Run:  python examples/memory_forensics.py
+"""
+
+from repro import Machine
+from repro.core import (
+    leaked_bytes,
+    placement_new_array,
+    residual_ranges,
+    sanitize,
+    sanitize_residue,
+)
+from repro.cxx import CHAR
+from repro.runtime import password_file
+
+
+def dump(machine: Machine, address: int, length: int, width: int = 32) -> None:
+    data = machine.space.read(address, length)
+    for offset in range(0, length, width):
+        chunk = data[offset : offset + width]
+        text = "".join(chr(b) if 32 <= b < 127 else "." for b in chunk)
+        print(f"  {address + offset:#010x}  {text}")
+
+
+def scenario(label: str, sanitizer) -> None:
+    machine = Machine()
+    machine.files.add(password_file())
+    pool = machine.static_array(CHAR, 256, "mem_pool")
+    secret = machine.files.open("/etc/passwd").read(256)
+    machine.space.write(pool.address, secret[:256].ljust(256, b"\x00"))
+
+    if sanitizer is not None:
+        sanitizer(machine, pool.address)
+
+    userdata = placement_new_array(machine, pool.address, CHAR, 256)
+    machine.space.strncpy(userdata.address, "bob", 4)
+
+    stored = machine.space.read(userdata.address, 256)
+    residue = leaked_bytes(
+        machine.space, pool.address, 256, occupied=[(pool.address, 4)], secret=secret[:256].ljust(256, b"\x00")
+    )
+    print(f"— {label} —")
+    print(f"  store(userdata) would ship 256 bytes; {residue} of them are "
+          "still password-file bytes")
+    print("  first 96 bytes of what leaves the process:")
+    dump(machine, userdata.address, 96)
+    print()
+
+
+def main() -> None:
+    scenario("vulnerable (Listing 21, no sanitization)", None)
+    scenario(
+        "full sanitization (§5.1's recommendation)",
+        lambda machine, base: sanitize(machine.space, base, 256),
+    )
+    scenario(
+        "partial sanitization of the residue only",
+        lambda machine, base: [
+            sanitize_residue(machine.space, base, 256, occupied=[(base, 4)])
+        ],
+    )
+
+    print("— the paper's padding caveat, quantified —")
+    print(
+        "residual ranges when the new occupant uses bytes [0,8) and [16,20)\n"
+        "of a 32-byte arena (everything else still holds old data):"
+    )
+    for base, length in residual_ranges(0, 32, occupied=[(0, 8), (16, 4)]):
+        print(f"  bytes [{base}, {base + length})  — {length} bytes of residue")
+
+
+if __name__ == "__main__":
+    main()

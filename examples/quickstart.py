@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Quickstart: your first placement-new overflow, byte by byte.
+
+Builds a simulated 32-bit process, declares the paper's ``Student`` and
+``GradStudent`` classes, and walks Listing 11's data/bss overflow —
+showing the exact bytes before and after, the way a debugger would.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Machine, placement_new
+from repro.core import construct
+from repro.workloads import make_student_classes, set_ssn
+
+
+def hexdump(machine: Machine, address: int, length: int) -> str:
+    """A compact one-line hexdump of simulated memory."""
+    data = machine.space.read(address, length)
+    return " ".join(f"{byte:02x}" for byte in data)
+
+
+def main() -> None:
+    machine = Machine()
+    student_cls, grad_cls = make_student_classes()
+
+    print("process memory map:")
+    print(machine.memory_map())
+    print()
+    print(f"sizeof(Student)     = {machine.sizeof(student_cls)}")
+    print(f"sizeof(GradStudent) = {machine.sizeof(grad_cls)}")
+    print()
+
+    # Two adjacent globals in bss, as in Listing 11.
+    stud1 = machine.static_object(student_cls, "stud1")
+    stud2 = machine.static_object(student_cls, "stud2")
+    print(f"stud1 @ {stud1.address:#010x}")
+    print(f"stud2 @ {stud2.address:#010x}  (exactly sizeof(Student) above)")
+
+    # Legitimate construction of stud2.
+    construct(machine, student_cls, stud2.address, 3.5, 2009, 1)
+    print()
+    print("before the attack:")
+    print(f"  stud2 = {stud2.field_values()}")
+    print(f"  stud2 bytes: {hexdump(machine, stud2.address, 16)}")
+
+    # The vulnerability: a 32-byte GradStudent placed in stud1's 16 bytes.
+    gs = placement_new(machine, stud1, grad_cls, 4.0, 2009, 1)
+    print()
+    print("placement_new(machine, stud1, GradStudent)  # no bounds check!")
+    print(f"  placed object spans {gs.address:#010x}..{gs.end:#010x}")
+    print(f"  stud2 begins at     {stud2.address:#010x}  <- inside the placed object")
+
+    # The attacker "sets the SSN" — which lands on stud2.
+    set_ssn(gs, 0x11111111, 0x22222222, 777)
+    print()
+    print("after set_ssn(0x11111111, 0x22222222, 777):")
+    print(f"  stud2 = {stud2.field_values()}")
+    print(f"  stud2 bytes: {hexdump(machine, stud2.address, 16)}")
+    print()
+
+    record = machine.placement_log.overflowing()[0]
+    print(
+        f"audit log: placement of {record.type_name} ({record.size}B) into a "
+        f"{record.arena_size}B arena — overflow of {record.size - record.arena_size} bytes"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""The detector the paper promised as future work, applied to real source.
+
+Parses the paper's Listing 13 (stack overflow via placement new) and
+Listing 23 (memory leak), runs the placement-new detector and a classic
+ITS4-style scanner on both, and shows why the classics stay silent.
+
+Run:  python examples/static_analysis_demo.py [file.cpp ...]
+      (with file arguments, analyzes your own MiniC++ sources instead)
+"""
+
+import sys
+
+from repro.analysis import analyze_source, simulated_tool_suite
+from repro.workloads.corpus import LISTING_13, LISTING_23
+
+
+def analyze_and_print(title: str, source: str) -> None:
+    print(f"──── {title} " + "─" * max(0, 60 - len(title)))
+    for number, line in enumerate(source.strip().splitlines(), start=1):
+        print(f"{number:3d} | {line}")
+    print()
+    report = analyze_source(source)
+    print(report.render())
+    print()
+    for tool in simulated_tool_suite():
+        print(tool.scan_source(source).render())
+    print()
+
+
+def main() -> None:
+    if len(sys.argv) > 1:
+        for path in sys.argv[1:]:
+            with open(path) as handle:
+                analyze_and_print(path, handle.read())
+        return
+    analyze_and_print("Listing 13 — stack overflow via placement new", LISTING_13.source)
+    analyze_and_print("Listing 23 — placement-new memory leak", LISTING_23.source)
+    print(
+        "Note the asymmetry: the classic scanners key on unsafe string\n"
+        "APIs and have no rule for `new`, so every placement-new finding\n"
+        "above comes from the flow-sensitive detector alone — the paper's\n"
+        "Section 1 claim, reproduced."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""repro — a byte-accurate reproduction of "A New Class of Buffer
+Overflow Attacks" (Kundu & Bertino, ICDCS 2011).
+
+The library simulates a 32-bit process image in pure Python and
+reproduces every placement-new attack, defense, and analysis result from
+the paper.  Start with::
+
+    from repro import Machine, placement_new
+    from repro.workloads import make_student_classes
+
+    machine = Machine()
+    student_cls, grad_cls = make_student_classes()
+    stud = machine.static_object(student_cls, "stud")
+    gs = placement_new(machine, stud, grad_cls)   # the vulnerability
+
+See README.md for the full tour and DESIGN.md for the architecture.
+"""
+
+from .core import (
+    checked_placement_new,
+    checked_placement_new_array,
+    delete_array,
+    delete_object,
+    new_array,
+    new_object,
+    placement_delete,
+    placement_new,
+    placement_new_array,
+    placement_new_in_pool,
+)
+from .errors import (
+    BoundsCheckViolation,
+    OutOfMemory,
+    ReproError,
+    SegmentationFault,
+    SimulatedProcessError,
+    StackSmashingDetected,
+)
+from .runtime import CanaryPolicy, Machine, MachineConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BoundsCheckViolation",
+    "CanaryPolicy",
+    "Machine",
+    "MachineConfig",
+    "OutOfMemory",
+    "ReproError",
+    "SegmentationFault",
+    "SimulatedProcessError",
+    "StackSmashingDetected",
+    "__version__",
+    "checked_placement_new",
+    "checked_placement_new_array",
+    "delete_array",
+    "delete_object",
+    "new_array",
+    "new_object",
+    "placement_delete",
+    "placement_new",
+    "placement_new_array",
+    "placement_new_in_pool",
+]

@@ -1,0 +1,50 @@
+"""Static analysis of MiniC++ programs.
+
+The constructive half of the paper's Section 5: a lexer/parser for the
+C++ subset the listings use, a flow-sensitive placement-new detector
+(:mod:`detector`), and reimplementations of the classic rule-based
+scanners (:mod:`legacy_tools`) whose placement-new blind spot the paper
+documents.
+"""
+
+from .ast_nodes import Program
+from .cfg import BasicBlock, ControlFlowGraph, build_cfg, placement_sites
+from .detector import PlacementNewDetector, analyze_source
+from .legacy_tools import (
+    CLASSIC_RULES,
+    LegacyRule,
+    LegacyRuleScanner,
+    simulated_tool_suite,
+)
+from .lexer import Token, TokenKind, tokenize
+from .parser import Parser, parse
+from .reports import AnalysisReport, Finding, Severity, merge_reports
+from .symbols import SymbolTable, constant_int
+from .unparse import unparse_expr, unparse_program
+
+__all__ = [
+    "AnalysisReport",
+    "BasicBlock",
+    "CLASSIC_RULES",
+    "ControlFlowGraph",
+    "Finding",
+    "LegacyRule",
+    "LegacyRuleScanner",
+    "Parser",
+    "PlacementNewDetector",
+    "Program",
+    "Severity",
+    "SymbolTable",
+    "Token",
+    "TokenKind",
+    "analyze_source",
+    "build_cfg",
+    "constant_int",
+    "merge_reports",
+    "parse",
+    "placement_sites",
+    "simulated_tool_suite",
+    "tokenize",
+    "unparse_expr",
+    "unparse_program",
+]

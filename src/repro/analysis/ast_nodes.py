@@ -1,0 +1,397 @@
+"""AST for MiniC++ — the C++ subset the paper's listings are written in.
+
+The analyzer (Section 5's future-work tool) parses real source text into
+these nodes.  The subset covers everything Listings 1–23 use: classes
+with inheritance and virtual methods, globals, functions, placement and
+ordinary ``new``/``delete``, ``cin >>`` input, pointer/array expressions
+and the usual statements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+
+@dataclass(frozen=True)
+class Node:
+    """Base AST node; ``line`` points back into the source."""
+
+    line: int = field(default=0, compare=False)
+
+
+# --------------------------------------------------------------------------
+# expressions
+
+
+@dataclass(frozen=True)
+class Expr(Node):
+    """Base expression."""
+
+
+@dataclass(frozen=True)
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass(frozen=True)
+class FloatLit(Expr):
+    value: float = 0.0
+
+
+@dataclass(frozen=True)
+class StrLit(Expr):
+    value: str = ""
+
+
+@dataclass(frozen=True)
+class BoolLit(Expr):
+    value: bool = False
+
+
+@dataclass(frozen=True)
+class NullLit(Expr):
+    """``NULL`` / ``nullptr``."""
+
+
+@dataclass(frozen=True)
+class Name(Expr):
+    ident: str = ""
+
+
+@dataclass(frozen=True)
+class Unary(Expr):
+    """``&x``, ``*p``, ``-x``, ``!x``, ``++x`` (prefix)."""
+
+    op: str = ""
+    operand: Expr = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class Binary(Expr):
+    op: str = ""
+    left: Expr = None  # type: ignore[assignment]
+    right: Expr = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class Member(Expr):
+    """``obj.name`` or ``ptr->name``."""
+
+    obj: Expr = None  # type: ignore[assignment]
+    name: str = ""
+    arrow: bool = False
+
+
+@dataclass(frozen=True)
+class Index(Expr):
+    base: Expr = None  # type: ignore[assignment]
+    index: Expr = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    """``f(args)`` or ``recv.f(args)`` / ``recv->f(args)``."""
+
+    func: str = ""
+    args: tuple = ()
+    receiver: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class SizeOf(Expr):
+    """``sizeof(TypeName)`` or ``sizeof(expr)``."""
+
+    type_name: Optional[str] = None
+    expr: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class NewExpr(Expr):
+    """Every flavour of ``new``.
+
+    ``placement`` is the address expression of ``new (addr) ...``;
+    ``array_count`` distinguishes ``new T[n]``; ``args`` are constructor
+    arguments.
+    """
+
+    type_name: str = ""
+    placement: Optional[Expr] = None
+    array_count: Optional[Expr] = None
+    args: tuple = ()
+
+    @property
+    def is_placement(self) -> bool:
+        return self.placement is not None
+
+    @property
+    def is_array(self) -> bool:
+        return self.array_count is not None
+
+
+# --------------------------------------------------------------------------
+# statements
+
+
+@dataclass(frozen=True)
+class Stmt(Node):
+    """Base statement."""
+
+
+@dataclass(frozen=True)
+class TypeRef:
+    """A declared type: base name, pointer depth, optional array length."""
+
+    name: str = ""
+    pointer_depth: int = 0
+    array_size: Optional[Expr] = None
+
+    @property
+    def is_pointer(self) -> bool:
+        return self.pointer_depth > 0
+
+    @property
+    def is_array(self) -> bool:
+        return self.array_size is not None
+
+    def describe(self) -> str:
+        suffix = "*" * self.pointer_depth + ("[]" if self.is_array else "")
+        return f"{self.name}{suffix}"
+
+
+@dataclass(frozen=True)
+class VarDecl(Stmt):
+    """``Type name = init;`` / ``Type name[size];`` / ``Type a, b;``
+    (multi-declarators are split by the parser into several VarDecls)."""
+
+    type: TypeRef = None  # type: ignore[assignment]
+    name: str = ""
+    init: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    target: Expr = None  # type: ignore[assignment]
+    value: Expr = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class CinRead(Stmt):
+    """``cin >> target [>> target2 ...]`` — the attacker's entry point."""
+
+    targets: tuple = ()
+
+
+@dataclass(frozen=True)
+class CoutWrite(Stmt):
+    """``cout << expr << ...`` — kept for completeness; sink for leaks."""
+
+    values: tuple = ()
+
+
+@dataclass(frozen=True)
+class ExprStmt(Stmt):
+    expr: Expr = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class DeleteStmt(Stmt):
+    target: Expr = None  # type: ignore[assignment]
+    is_array: bool = False
+
+
+@dataclass(frozen=True)
+class ReturnStmt(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class Block(Stmt):
+    statements: tuple = ()
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    cond: Expr = None  # type: ignore[assignment]
+    then_body: Block = None  # type: ignore[assignment]
+    else_body: Optional[Block] = None
+
+
+@dataclass(frozen=True)
+class While(Stmt):
+    cond: Expr = None  # type: ignore[assignment]
+    body: Block = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class For(Stmt):
+    init: Optional[Stmt] = None
+    cond: Optional[Expr] = None
+    step: Optional[Stmt] = None
+    body: Block = None  # type: ignore[assignment]
+
+
+# --------------------------------------------------------------------------
+# declarations
+
+
+@dataclass(frozen=True)
+class FieldDecl:
+    """A class data member."""
+
+    type: TypeRef
+    name: str
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class MethodDecl:
+    """A class method (bodies are parsed but not analyzed inline)."""
+
+    name: str
+    return_type: TypeRef
+    params: tuple
+    virtual: bool = False
+    body: Optional[Block] = None
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class ClassDecl(Node):
+    name: str = ""
+    bases: tuple = ()
+    fields: tuple = ()
+    methods: tuple = ()
+
+    @property
+    def has_virtual(self) -> bool:
+        return any(method.virtual for method in self.methods)
+
+
+@dataclass(frozen=True)
+class Param:
+    """A function parameter."""
+
+    type: TypeRef
+    name: str
+
+
+@dataclass(frozen=True)
+class FunctionDecl(Node):
+    name: str = ""
+    return_type: TypeRef = None  # type: ignore[assignment]
+    params: tuple = ()
+    body: Block = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class Program(Node):
+    """A translation unit: classes, globals, functions, in order."""
+
+    classes: tuple = ()
+    globals: tuple = ()
+    functions: tuple = ()
+
+    def function(self, name: str) -> FunctionDecl:
+        """Look a function up by name."""
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        raise KeyError(f"no function '{name}'")
+
+    def class_decl(self, name: str) -> ClassDecl:
+        """Look a class up by name."""
+        for cls in self.classes:
+            if cls.name == name:
+                return cls
+        raise KeyError(f"no class '{name}'")
+
+
+def walk_expressions(node: Union[Expr, Stmt, None]):
+    """Yield every expression nested under ``node`` (pre-order)."""
+    if node is None:
+        return
+    if isinstance(node, Expr):
+        yield node
+        children: Sequence = ()
+        if isinstance(node, Unary):
+            children = (node.operand,)
+        elif isinstance(node, Binary):
+            children = (node.left, node.right)
+        elif isinstance(node, Member):
+            children = (node.obj,)
+        elif isinstance(node, Index):
+            children = (node.base, node.index)
+        elif isinstance(node, Call):
+            children = tuple(node.args) + (
+                (node.receiver,) if node.receiver else ()
+            )
+        elif isinstance(node, NewExpr):
+            children = tuple(node.args)
+            if node.placement is not None:
+                children += (node.placement,)
+            if node.array_count is not None:
+                children += (node.array_count,)
+        elif isinstance(node, SizeOf) and node.expr is not None:
+            children = (node.expr,)
+        for child in children:
+            yield from walk_expressions(child)
+    elif isinstance(node, Stmt):
+        for child_expr in _statement_expressions(node):
+            yield from walk_expressions(child_expr)
+        for child_stmt in _statement_children(node):
+            yield from walk_expressions(child_stmt)
+
+
+def _statement_expressions(stmt: Stmt) -> tuple:
+    if isinstance(stmt, VarDecl):
+        parts = tuple(p for p in (stmt.init, stmt.type.array_size) if p is not None)
+        return parts
+    if isinstance(stmt, Assign):
+        return (stmt.target, stmt.value)
+    if isinstance(stmt, CinRead):
+        return tuple(stmt.targets)
+    if isinstance(stmt, CoutWrite):
+        return tuple(stmt.values)
+    if isinstance(stmt, ExprStmt):
+        return (stmt.expr,)
+    if isinstance(stmt, DeleteStmt):
+        return (stmt.target,)
+    if isinstance(stmt, ReturnStmt):
+        return (stmt.value,) if stmt.value is not None else ()
+    if isinstance(stmt, If):
+        return (stmt.cond,)
+    if isinstance(stmt, While):
+        return (stmt.cond,)
+    if isinstance(stmt, For):
+        return (stmt.cond,) if stmt.cond is not None else ()
+    return ()
+
+
+def _statement_children(stmt: Stmt) -> tuple:
+    if isinstance(stmt, Block):
+        return tuple(stmt.statements)
+    if isinstance(stmt, If):
+        children: tuple = (stmt.then_body,)
+        if stmt.else_body is not None:
+            children += (stmt.else_body,)
+        return children
+    if isinstance(stmt, While):
+        return (stmt.body,)
+    if isinstance(stmt, For):
+        parts: tuple = ()
+        if stmt.init is not None:
+            parts += (stmt.init,)
+        if stmt.step is not None:
+            parts += (stmt.step,)
+        return parts + (stmt.body,)
+    return ()
+
+
+def walk_statements(stmt: Optional[Stmt]):
+    """Yield every statement nested under ``stmt`` (pre-order)."""
+    if stmt is None:
+        return
+    yield stmt
+    for child in _statement_children(stmt):
+        yield from walk_statements(child)

@@ -1,0 +1,176 @@
+"""Control-flow graphs for MiniC++ functions.
+
+The detector's abstract interpretation is structured (MiniC++ has no
+goto), but a CFG is still the right representation for reachability
+queries, path counting and graph export — and it documents the analysis
+the way the paper's Section 5.1 frames it ("there is a data flow path
+(intra-procedural or inter-procedural) from remoteobj to another object
+obj at program point p").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from . import ast_nodes as ast
+
+
+@dataclass
+class BasicBlock:
+    """A straight-line statement sequence with one entry and one exit."""
+
+    block_id: int
+    statements: list = field(default_factory=list)
+    successors: list = field(default_factory=list)  # block ids
+    label: str = ""
+
+    def add_successor(self, block: "BasicBlock") -> None:
+        if block.block_id not in self.successors:
+            self.successors.append(block.block_id)
+
+
+@dataclass
+class ControlFlowGraph:
+    """The CFG of one function."""
+
+    function: str
+    blocks: dict = field(default_factory=dict)  # id -> BasicBlock
+    entry_id: int = 0
+    exit_id: int = 0
+
+    def block(self, block_id: int) -> BasicBlock:
+        return self.blocks[block_id]
+
+    @property
+    def entry(self) -> BasicBlock:
+        return self.blocks[self.entry_id]
+
+    @property
+    def exit(self) -> BasicBlock:
+        return self.blocks[self.exit_id]
+
+    def reachable_blocks(self) -> set:
+        """Block ids reachable from entry."""
+        seen: set = set()
+        worklist = [self.entry_id]
+        while worklist:
+            current = worklist.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            worklist.extend(self.blocks[current].successors)
+        return seen
+
+    def statements_reachable(self) -> list:
+        """Every statement in a reachable block, in block order."""
+        ordered = []
+        for block_id in sorted(self.reachable_blocks()):
+            ordered.extend(self.blocks[block_id].statements)
+        return ordered
+
+    def edge_count(self) -> int:
+        return sum(len(b.successors) for b in self.blocks.values())
+
+    def to_dot(self) -> str:
+        """Graphviz rendering for documentation and debugging."""
+        lines = [f'digraph "{self.function}" {{']
+        for block in self.blocks.values():
+            text = block.label or f"B{block.block_id}"
+            count = len(block.statements)
+            lines.append(
+                f'  B{block.block_id} [label="{text}\\n{count} stmt(s)"];'
+            )
+            for succ in block.successors:
+                lines.append(f"  B{block.block_id} -> B{succ};")
+        lines.append("}")
+        return "\n".join(lines)
+
+
+class _Builder:
+    def __init__(self, function_name: str) -> None:
+        self.cfg = ControlFlowGraph(function=function_name)
+        self._next_id = 0
+        entry = self._new_block("entry")
+        self.cfg.entry_id = entry.block_id
+        self._exit = self._new_block("exit")
+        self.cfg.exit_id = self._exit.block_id
+        self._current = entry
+
+    def _new_block(self, label: str = "") -> BasicBlock:
+        block = BasicBlock(block_id=self._next_id, label=label)
+        self._next_id += 1
+        self.cfg.blocks[block.block_id] = block
+        return block
+
+    def build(self, body: ast.Block) -> ControlFlowGraph:
+        after = self._lower_block(body, self._current)
+        after.add_successor(self._exit)
+        return self.cfg
+
+    def _lower_block(self, block: ast.Block, current: BasicBlock) -> BasicBlock:
+        for stmt in block.statements:
+            current = self._lower_statement(stmt, current)
+        return current
+
+    def _lower_statement(self, stmt: ast.Stmt, current: BasicBlock) -> BasicBlock:
+        if isinstance(stmt, ast.Block):
+            return self._lower_block(stmt, current)
+        if isinstance(stmt, ast.If):
+            current.statements.append(stmt.cond)
+            then_block = self._new_block("then")
+            current.add_successor(then_block)
+            then_end = self._lower_block(stmt.then_body, then_block)
+            join = self._new_block("join")
+            then_end.add_successor(join)
+            if stmt.else_body is not None:
+                else_block = self._new_block("else")
+                current.add_successor(else_block)
+                else_end = self._lower_block(stmt.else_body, else_block)
+                else_end.add_successor(join)
+            else:
+                current.add_successor(join)
+            return join
+        if isinstance(stmt, (ast.While, ast.For)):
+            if isinstance(stmt, ast.For) and stmt.init is not None:
+                current.statements.append(stmt.init)
+            header = self._new_block("loop-header")
+            current.add_successor(header)
+            if getattr(stmt, "cond", None) is not None:
+                header.statements.append(stmt.cond)
+            body_block = self._new_block("loop-body")
+            header.add_successor(body_block)
+            body_end = self._lower_block(stmt.body, body_block)
+            if isinstance(stmt, ast.For) and stmt.step is not None:
+                body_end.statements.append(stmt.step)
+            body_end.add_successor(header)
+            after = self._new_block("loop-exit")
+            header.add_successor(after)
+            return after
+        if isinstance(stmt, ast.ReturnStmt):
+            current.statements.append(stmt)
+            current.add_successor(self._exit)
+            # Statements after an unconditional return are unreachable;
+            # keep collecting them in a fresh, unconnected block.
+            return self._new_block("unreachable")
+        current.statements.append(stmt)
+        return current
+
+
+def build_cfg(function: ast.FunctionDecl) -> ControlFlowGraph:
+    """Build the CFG of one function."""
+    return _Builder(function.name).build(function.body)
+
+
+def placement_sites(cfg: ControlFlowGraph) -> list:
+    """All reachable placement-new expressions in a CFG — the program
+    points the detector must visit."""
+    sites = []
+    for item in cfg.statements_reachable():
+        node = item if isinstance(item, (ast.Stmt, ast.Expr)) else None
+        if node is None:
+            continue
+        for expr in ast.walk_expressions(node):
+            if isinstance(expr, ast.NewExpr) and expr.is_placement:
+                sites.append(expr)
+    return sites

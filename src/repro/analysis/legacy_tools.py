@@ -1,0 +1,147 @@
+"""Classic rule-based scanners — what 2011's tools actually checked.
+
+The paper's Section 1 claim: *"None of the existing tools can detect
+buffer overflow vulnerabilities due to placement new"* (Coverity,
+Fortify, ITS4, Flawfinder, ...).  Those tools keyed on *unsafe API
+usage* — ``strcpy``, ``gets``, ``sprintf``, format strings — and had no
+placement-new rule.  :class:`LegacyRuleScanner` reimplements that rule
+style over the MiniC++ AST; running it against the placement corpus
+reproduces the 0-detections result (experiment E13) while the classic
+corpus shows the scanner itself is not a straw man.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from . import ast_nodes as ast
+from .parser import parse
+from .reports import AnalysisReport, Finding, Severity
+
+
+@dataclass(frozen=True)
+class LegacyRule:
+    """One pattern rule in the ITS4/Flawfinder tradition."""
+
+    rule_id: str
+    severity: Severity
+    message: str
+    matcher: Callable[[ast.Expr], bool]
+
+
+def _call_named(*names: str) -> Callable[[ast.Expr], bool]:
+    def match(expr: ast.Expr) -> bool:
+        return isinstance(expr, ast.Call) and expr.func in names
+
+    return match
+
+
+def _strncpy_nonconstant_length(expr: ast.Expr) -> bool:
+    """ITS4 flagged strncpy/memcpy whose length is not a literal."""
+    if not isinstance(expr, ast.Call) or expr.func not in ("strncpy", "memcpy"):
+        return False
+    if len(expr.args) < 3:
+        return True
+    return not isinstance(expr.args[2], ast.IntLit)
+
+
+def _format_string_from_variable(expr: ast.Expr) -> bool:
+    if not isinstance(expr, ast.Call) or expr.func not in ("printf", "syslog"):
+        return False
+    return bool(expr.args) and not isinstance(expr.args[0], ast.StrLit)
+
+
+#: The canonical 2011-era rule set.  Note what is absent: nothing about
+#: ``new`` of any kind.
+CLASSIC_RULES: tuple[LegacyRule, ...] = (
+    LegacyRule(
+        rule_id="CLASSIC-UNSAFE-API",
+        severity=Severity.ERROR,
+        message="use of an unbounded copy function (strcpy/strcat/gets/sprintf)",
+        matcher=_call_named("strcpy", "strcat", "gets", "sprintf", "vsprintf", "scanf"),
+    ),
+    LegacyRule(
+        rule_id="CLASSIC-BOUNDED-COPY-REVIEW",
+        severity=Severity.WARNING,
+        message="bounded copy with non-constant length; verify the bound",
+        matcher=_strncpy_nonconstant_length,
+    ),
+    LegacyRule(
+        rule_id="CLASSIC-FORMAT-STRING",
+        severity=Severity.ERROR,
+        message="format string taken from a variable",
+        matcher=_format_string_from_variable,
+    ),
+    LegacyRule(
+        rule_id="CLASSIC-ALLOCA",
+        severity=Severity.WARNING,
+        message="alloca with attacker-influenceable size",
+        matcher=_call_named("alloca"),
+    ),
+)
+
+
+class LegacyRuleScanner:
+    """A pattern scanner in the style of ITS4/RATS/Flawfinder."""
+
+    def __init__(
+        self,
+        name: str = "legacy-scanner",
+        rules: tuple[LegacyRule, ...] = CLASSIC_RULES,
+    ) -> None:
+        self.name = name
+        self.rules = rules
+
+    def scan_source(self, source: str) -> AnalysisReport:
+        """Parse and scan source text."""
+        return self.scan(parse(source))
+
+    def scan(self, program: ast.Program) -> AnalysisReport:
+        """Pattern-match every expression in every function and method."""
+        report = AnalysisReport(tool=self.name)
+        for function in program.functions:
+            self._scan_block(function.body, function.name, report)
+        for cls in program.classes:
+            for method in cls.methods:
+                if method.body is not None:
+                    self._scan_block(
+                        method.body, f"{cls.name}::{method.name}", report
+                    )
+        return report
+
+    def _scan_block(
+        self, block: ast.Block, function: str, report: AnalysisReport
+    ) -> None:
+        for stmt in ast.walk_statements(block):
+            for expr in ast.walk_expressions(stmt):
+                for rule in self.rules:
+                    if rule.matcher(expr):
+                        report.add(
+                            Finding(
+                                rule=rule.rule_id,
+                                severity=rule.severity,
+                                message=rule.message,
+                                line=expr.line,
+                                function=function,
+                                tool=self.name,
+                            )
+                        )
+
+
+def simulated_tool_suite() -> tuple[LegacyRuleScanner, ...]:
+    """Three scanners with the same blind spot, differently tuned —
+    stand-ins for the commercial tools the paper lists.
+
+    The *strict* profile only reports errors (low-noise commercial
+    default); the *audit* profile includes review-level warnings.
+    """
+    strict = LegacyRuleScanner(
+        name="legacy-strict",
+        rules=tuple(r for r in CLASSIC_RULES if r.severity is Severity.ERROR),
+    )
+    audit = LegacyRuleScanner(name="legacy-audit", rules=CLASSIC_RULES)
+    unsafe_api_only = LegacyRuleScanner(
+        name="legacy-grep", rules=(CLASSIC_RULES[0],)
+    )
+    return (strict, audit, unsafe_api_only)

@@ -1,0 +1,170 @@
+"""Tokenizer for MiniC++ source."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..errors import ParseError
+
+KEYWORDS = {
+    "class", "public", "private", "protected", "virtual", "new", "delete",
+    "if", "else", "while", "for", "return", "true", "false", "NULL",
+    "nullptr", "sizeof", "cin", "cout", "endl", "struct", "const",
+}
+
+#: Multi-character operators, longest first so maximal munch works.
+MULTI_OPS = (
+    "<<=", ">>=", "->", "::", "<<", ">>", "<=", ">=", "==", "!=", "&&",
+    "||", "++", "--", "+=", "-=", "*=", "/=",
+)
+SINGLE_OPS = "+-*/%<>=!&|~^.,;:()[]{}?"
+
+
+class TokenKind(enum.Enum):
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    NUMBER = "number"
+    FLOAT = "float"
+    STRING = "string"
+    CHARLIT = "charlit"
+    OP = "op"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def is_op(self, *ops: str) -> bool:
+        return self.kind is TokenKind.OP and self.text in ops
+
+    def is_keyword(self, *words: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text in words
+
+
+def tokenize(source: str) -> list[Token]:
+    """Turn source text into a token list ending with an EOF token."""
+    return list(_tokens(source))
+
+
+def _tokens(source: str) -> Iterator[Token]:
+    line = 1
+    column = 1
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        # whitespace
+        if ch == "\n":
+            line += 1
+            column = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+        # comments
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise ParseError("unterminated block comment", line, column)
+            skipped = source[i : end + 2]
+            line += skipped.count("\n")
+            if "\n" in skipped:
+                column = len(skipped) - skipped.rfind("\n")
+            else:
+                column += len(skipped)
+            i = end + 2
+            continue
+        # preprocessor lines are skipped wholesale
+        if ch == "#" and column == 1:
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        start_column = column
+        # identifiers / keywords
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+            yield Token(kind, text, line, start_column)
+            column += j - i
+            i = j
+            continue
+        # numbers
+        if ch.isdigit():
+            j = i
+            is_float = False
+            if source.startswith("0x", i) or source.startswith("0X", i):
+                j = i + 2
+                while j < n and source[j] in "0123456789abcdefABCDEF":
+                    j += 1
+            else:
+                while j < n and (source[j].isdigit() or source[j] == "."):
+                    if source[j] == ".":
+                        if is_float:
+                            break
+                        is_float = True
+                    j += 1
+            text = source[i:j]
+            yield Token(
+                TokenKind.FLOAT if is_float else TokenKind.NUMBER,
+                text,
+                line,
+                start_column,
+            )
+            column += j - i
+            i = j
+            continue
+        # string literals
+        if ch == '"':
+            j = i + 1
+            while j < n and source[j] != '"':
+                if source[j] == "\\":
+                    j += 1
+                j += 1
+            if j >= n:
+                raise ParseError("unterminated string literal", line, column)
+            yield Token(TokenKind.STRING, source[i + 1 : j], line, start_column)
+            column += j + 1 - i
+            i = j + 1
+            continue
+        # char literals
+        if ch == "'":
+            j = i + 1
+            while j < n and source[j] != "'":
+                if source[j] == "\\":
+                    j += 1
+                j += 1
+            if j >= n:
+                raise ParseError("unterminated char literal", line, column)
+            yield Token(TokenKind.CHARLIT, source[i + 1 : j], line, start_column)
+            column += j + 1 - i
+            i = j + 1
+            continue
+        # operators
+        matched = None
+        for op in MULTI_OPS:
+            if source.startswith(op, i):
+                matched = op
+                break
+        if matched is None and ch in SINGLE_OPS:
+            matched = ch
+        if matched is None:
+            raise ParseError(f"unexpected character {ch!r}", line, column)
+        yield Token(TokenKind.OP, matched, line, start_column)
+        column += len(matched)
+        i += len(matched)
+    yield Token(TokenKind.EOF, "", line, column)

@@ -1,0 +1,205 @@
+"""Symbol/type information for the analyzer.
+
+Builds real record layouts for MiniC++ classes by lowering them onto the
+:mod:`repro.cxx` layout engine — so the analyzer's ``sizeof`` is the
+*same* sizeof the simulator executes with, including the vptr the paper
+warns manual estimates miss (Section 5.1: "Compilers often add member
+variables such as the virtual table pointer").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..cxx import classdef as cxx_classdef
+from ..cxx import layout as cxx_layout
+from ..cxx import types as cxx_types
+from . import ast_nodes as ast
+
+#: Scalar sizes on the ILP32 target.
+SCALAR_SIZES = {
+    "int": 4,
+    "unsigned int": 4,
+    "unsigned": 4,
+    "long": 4,
+    "unsigned long": 4,
+    "short": 2,
+    "unsigned short": 2,
+    "char": 1,
+    "unsigned char": 1,
+    "bool": 1,
+    "float": 4,
+    "double": 8,
+    "void": 1,
+    "size_t": 4,
+    "string": 8,  # a small-string handle on the simulated target
+}
+
+_SCALAR_CTYPES = {
+    "int": cxx_types.INT,
+    "unsigned int": cxx_types.UINT,
+    "unsigned": cxx_types.UINT,
+    "short": cxx_types.SHORT,
+    "char": cxx_types.CHAR,
+    "bool": cxx_types.BOOL,
+    "float": cxx_types.FLOAT,
+    "double": cxx_types.DOUBLE,
+}
+
+
+class SymbolTable:
+    """Type sizes and class metadata for one parsed program."""
+
+    def __init__(self, program: ast.Program) -> None:
+        self.program = program
+        self._engine = cxx_layout.LayoutEngine()
+        self._class_defs: dict[str, cxx_classdef.ClassDef] = {}
+        self._decls: dict[str, ast.ClassDecl] = {
+            cls.name: cls for cls in program.classes
+        }
+        for cls in program.classes:
+            self._lower_class(cls.name)
+
+    # -- class lowering ---------------------------------------------------
+
+    def _lower_class(self, name: str) -> Optional[cxx_classdef.ClassDef]:
+        if name in self._class_defs:
+            return self._class_defs[name]
+        decl = self._decls.get(name)
+        if decl is None:
+            return None
+        bases = []
+        for base_name in decl.bases:
+            lowered = self._lower_class(base_name)
+            if lowered is not None:
+                bases.append(lowered)
+        fields = []
+        for field in decl.fields:
+            ctype = self._lower_type(field.type)
+            if ctype is None:
+                ctype = cxx_types.VOID_PTR  # opaque member; pointer-sized
+            fields.append((field.name, ctype))
+        virtuals = [
+            cxx_classdef.VirtualMethod(
+                method.name, _virtual_stub(name, method.name)
+            )
+            for method in decl.methods
+            if method.virtual
+        ]
+        lowered = cxx_classdef.make_class(
+            name, fields=fields, bases=bases, virtuals=virtuals
+        )
+        self._class_defs[name] = lowered
+        return lowered
+
+    def _lower_type(self, type_ref: ast.TypeRef) -> Optional[cxx_types.CType]:
+        if type_ref.is_pointer:
+            return cxx_types.VOID_PTR
+        if type_ref.is_array:
+            element = self._lower_type(
+                ast.TypeRef(name=type_ref.name, pointer_depth=0)
+            )
+            length = constant_int(type_ref.array_size)
+            if element is None or length is None or length <= 0:
+                return None
+            return cxx_types.array_of(element, length)
+        if type_ref.name in _SCALAR_CTYPES:
+            return _SCALAR_CTYPES[type_ref.name]
+        if type_ref.name in self._decls:
+            lowered = self._lower_class(type_ref.name)
+            if lowered is None:
+                return None
+            return cxx_layout.class_type(lowered, self._engine)
+        return None
+
+    # -- queries ------------------------------------------------------------
+
+    def cxx_class(self, name: str) -> Optional[cxx_classdef.ClassDef]:
+        """The lowered :class:`~repro.cxx.classdef.ClassDef` for a MiniC++
+        class — shared by the analyzer (sizeof) and the dynamic executor
+        (real placement on the simulator)."""
+        return self._class_defs.get(name)
+
+    def layout_engine(self) -> cxx_layout.LayoutEngine:
+        """The engine the sizes were computed with."""
+        return self._engine
+
+    def is_class(self, name: str) -> bool:
+        """True for user-declared classes."""
+        return name in self._decls
+
+    def is_polymorphic(self, name: str) -> bool:
+        """True when the class (or a base) declares a virtual method."""
+        lowered = self._class_defs.get(name)
+        return lowered is not None and lowered.is_polymorphic()
+
+    def sizeof_name(self, type_name: str) -> Optional[int]:
+        """``sizeof(type_name)`` — None when unknown."""
+        if type_name.endswith("*"):
+            return 4
+        if type_name in self._class_defs:
+            return self._engine.sizeof(self._class_defs[type_name])
+        return SCALAR_SIZES.get(type_name)
+
+    def sizeof_type_ref(self, type_ref: ast.TypeRef) -> Optional[int]:
+        """Size of a declared variable of this type."""
+        if type_ref.is_pointer:
+            return 4
+        base = self.sizeof_name(type_ref.name)
+        if base is None:
+            return None
+        if type_ref.is_array:
+            length = constant_int(type_ref.array_size)
+            if length is None:
+                return None
+            return base * length
+        return base
+
+    def element_size(self, type_name: str) -> Optional[int]:
+        """Per-element size for ``new type[ n ]``."""
+        return self.sizeof_name(type_name)
+
+    def class_decl(self, name: str) -> Optional[ast.ClassDecl]:
+        """The AST declaration of a class."""
+        return self._decls.get(name)
+
+
+def _virtual_stub(class_name: str, method_name: str):
+    """Runtime body for a declaration-only virtual method: record the
+    dispatch (so executed programs can observe *which* implementation a
+    corrupted vptr selected) and return its qualified name."""
+    qualified = f"{class_name}::{method_name}"
+
+    def stub(machine, instance=None, *args):
+        machine.record_event(f"dispatched {qualified}")
+        return qualified
+
+    return stub
+
+
+def constant_int(expr: Optional[ast.Expr]) -> Optional[int]:
+    """Fold an expression to an int constant where trivially possible
+    (literals and +,-,* over constants); None otherwise."""
+    if expr is None:
+        return None
+    if isinstance(expr, ast.IntLit):
+        return expr.value
+    if isinstance(expr, ast.BoolLit):
+        return int(expr.value)
+    if isinstance(expr, ast.Unary) and expr.op == "-":
+        inner = constant_int(expr.operand)
+        return -inner if inner is not None else None
+    if isinstance(expr, ast.Binary):
+        left = constant_int(expr.left)
+        right = constant_int(expr.right)
+        if left is None or right is None:
+            return None
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        if expr.op == "*":
+            return left * right
+        if expr.op == "/" and right != 0:
+            return left // right
+    return None

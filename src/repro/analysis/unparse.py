@@ -1,0 +1,174 @@
+"""Pretty-printer: MiniC++ AST back to source text.
+
+Useful for corpus tooling (the generator's programs can be normalized),
+debugging (print what the parser actually understood), and the
+round-trip property tests: ``parse(unparse(parse(src)))`` must analyze
+identically to ``parse(src)``.
+"""
+
+from __future__ import annotations
+
+from . import ast_nodes as ast
+
+_INDENT = "  "
+
+
+def unparse_program(program: ast.Program) -> str:
+    """Render a whole translation unit."""
+    parts: list[str] = []
+    for cls in program.classes:
+        parts.append(_class(cls))
+    for decl in program.globals:
+        parts.append(_statement(decl, 0).rstrip())
+    for function in program.functions:
+        parts.append(_function(function))
+    return "\n".join(parts) + "\n"
+
+
+def _type(type_ref: ast.TypeRef) -> str:
+    return type_ref.name + "*" * type_ref.pointer_depth
+
+
+def _declarator(type_ref: ast.TypeRef, name: str) -> str:
+    text = f"{_type(type_ref)} {name}"
+    if type_ref.is_array:
+        text += f"[{unparse_expr(type_ref.array_size)}]"
+    return text
+
+
+def _class(cls: ast.ClassDecl) -> str:
+    head = f"class {cls.name}"
+    if cls.bases:
+        head += " : " + ", ".join(f"public {base}" for base in cls.bases)
+    lines = [head + " {", f"{_INDENT}public:"]
+    for method in cls.methods:
+        virtual = "virtual " if method.virtual else ""
+        params = ", ".join(
+            _declarator(param.type, param.name) for param in method.params
+        )
+        signature = (
+            f"{_INDENT * 2}{virtual}{_type(method.return_type)} "
+            f"{method.name}({params})"
+        )
+        if method.name == cls.name:  # constructor: no return type
+            signature = f"{_INDENT * 2}{method.name}({params})"
+        if method.body is None:
+            lines.append(signature + ";")
+        else:
+            lines.append(signature + " " + _block(method.body, 2).lstrip())
+    for field in cls.fields:
+        lines.append(f"{_INDENT * 2}{_declarator(field.type, field.name)};")
+    lines.append("};")
+    return "\n".join(lines)
+
+
+def _function(function: ast.FunctionDecl) -> str:
+    params = ", ".join(
+        _declarator(param.type, param.name) for param in function.params
+    )
+    head = f"{_type(function.return_type)} {function.name}({params}) "
+    return head + _block(function.body, 0)
+
+
+def _block(block: ast.Block, depth: int) -> str:
+    lines = ["{"]
+    for stmt in block.statements:
+        lines.append(_statement(stmt, depth + 1))
+    lines.append(_INDENT * depth + "}")
+    return "\n".join(lines)
+
+
+def _statement(stmt: ast.Stmt, depth: int) -> str:
+    pad = _INDENT * depth
+    if isinstance(stmt, ast.Block):
+        return pad + _block(stmt, depth)
+    if isinstance(stmt, ast.VarDecl):
+        text = _declarator(stmt.type, stmt.name)
+        if stmt.init is not None:
+            text += f" = {unparse_expr(stmt.init)}"
+        return f"{pad}{text};"
+    if isinstance(stmt, ast.Assign):
+        return f"{pad}{unparse_expr(stmt.target)} = {unparse_expr(stmt.value)};"
+    if isinstance(stmt, ast.CinRead):
+        chain = " >> ".join(unparse_expr(target) for target in stmt.targets)
+        return f"{pad}cin >> {chain};"
+    if isinstance(stmt, ast.CoutWrite):
+        chain = " << ".join(unparse_expr(value) for value in stmt.values)
+        return f"{pad}cout << {chain} << endl;"
+    if isinstance(stmt, ast.ExprStmt):
+        return f"{pad}{unparse_expr(stmt.expr)};"
+    if isinstance(stmt, ast.DeleteStmt):
+        brackets = "[] " if stmt.is_array else ""
+        return f"{pad}delete {brackets}{unparse_expr(stmt.target)};"
+    if isinstance(stmt, ast.ReturnStmt):
+        if stmt.value is None:
+            return f"{pad}return;"
+        return f"{pad}return {unparse_expr(stmt.value)};"
+    if isinstance(stmt, ast.If):
+        text = f"{pad}if ({unparse_expr(stmt.cond)}) " + _block(
+            stmt.then_body, depth
+        )
+        if stmt.else_body is not None:
+            text += " else " + _block(stmt.else_body, depth)
+        return text
+    if isinstance(stmt, ast.While):
+        return f"{pad}while ({unparse_expr(stmt.cond)}) " + _block(
+            stmt.body, depth
+        )
+    if isinstance(stmt, ast.For):
+        init = _statement(stmt.init, 0).strip() if stmt.init is not None else ";"
+        if not init.endswith(";"):
+            init += ";"
+        cond = unparse_expr(stmt.cond) if stmt.cond is not None else ""
+        step = ""
+        if stmt.step is not None:
+            step = _statement(stmt.step, 0).strip().rstrip(";")
+        return f"{pad}for ({init} {cond}; {step}) " + _block(stmt.body, depth)
+    raise ValueError(f"cannot unparse statement {type(stmt).__name__}")
+
+
+def unparse_expr(expr: ast.Expr) -> str:
+    """Render one expression (fully parenthesized where it matters)."""
+    if isinstance(expr, ast.IntLit):
+        return str(expr.value)
+    if isinstance(expr, ast.FloatLit):
+        return repr(expr.value)
+    if isinstance(expr, ast.StrLit):
+        return '"' + expr.value.replace('"', '\\"') + '"'
+    if isinstance(expr, ast.BoolLit):
+        return "true" if expr.value else "false"
+    if isinstance(expr, ast.NullLit):
+        return "NULL"
+    if isinstance(expr, ast.Name):
+        return expr.ident
+    if isinstance(expr, ast.Unary):
+        if expr.op.startswith("post"):
+            return f"{unparse_expr(expr.operand)}{expr.op[4:]}"
+        return f"{expr.op}{unparse_expr(expr.operand)}"
+    if isinstance(expr, ast.Binary):
+        return (
+            f"({unparse_expr(expr.left)} {expr.op} {unparse_expr(expr.right)})"
+        )
+    if isinstance(expr, ast.Member):
+        op = "->" if expr.arrow else "."
+        return f"{unparse_expr(expr.obj)}{op}{expr.name}"
+    if isinstance(expr, ast.Index):
+        return f"{unparse_expr(expr.base)}[{unparse_expr(expr.index)}]"
+    if isinstance(expr, ast.Call):
+        args = ", ".join(unparse_expr(arg) for arg in expr.args)
+        if expr.receiver is not None:
+            return f"{unparse_expr(expr.receiver)}.{expr.func}({args})"
+        return f"{expr.func}({args})"
+    if isinstance(expr, ast.SizeOf):
+        inner = expr.type_name if expr.type_name else unparse_expr(expr.expr)
+        return f"sizeof({inner})"
+    if isinstance(expr, ast.NewExpr):
+        placement = (
+            f"({unparse_expr(expr.placement)}) " if expr.placement is not None else ""
+        )
+        if expr.is_array:
+            return f"new {placement}{expr.type_name}[{unparse_expr(expr.array_count)}]"
+        args = ", ".join(unparse_expr(arg) for arg in expr.args)
+        suffix = f"({args})" if expr.args else "()"
+        return f"new {placement}{expr.type_name}{suffix}"
+    raise ValueError(f"cannot unparse expression {type(expr).__name__}")

@@ -1,0 +1,157 @@
+"""Two-step array overflow — Section 4, Listings 19 and 20.
+
+Step 1: an *object* overflow corrupts the variable holding the buffer
+size (``n_unames``) **after** the program's own validation has passed.
+Step 2: a perfectly ordinary ``strncpy`` into a pool-carved buffer — safe
+under the believed size — copies attacker bytes far past the pool.
+
+The stack variant aims the copied bytes at the return address; the bss
+variant tramples the globals behind the pool.  Both demonstrate the
+paper's point that "the use of strncpy is perfectly secure when we
+ignore the object overflow scenario".
+"""
+
+from __future__ import annotations
+
+from ..cxx.types import CHAR, INT
+from ..memory.encoding import encode_pointer
+from ..workloads.classes import make_student_classes
+from .base import AttackResult, AttackScenario, Environment
+
+UNAME_SIZE = 7  # +1 newline → 8 bytes per username slot
+
+
+def _benign_unames(count: int) -> str:
+    """A well-formed newline-separated username list."""
+    return "\n".join(f"user{i:03d}"[:UNAME_SIZE] for i in range(count))
+
+
+class StackArrayOverflowAttack(AttackScenario):
+    """Listing 19: pool on the stack; step 2 rewrites the return slot."""
+
+    name = "two-step-stack-array"
+    paper_ref = "§4.1, Listing 19"
+    description = "corrupted n_unames lets strncpy run past the stack pool"
+
+    def __init__(self, n_students: int = 8, target_symbol: str = "system") -> None:
+        self.n_students = n_students
+        self.target_symbol = target_symbol
+
+    def execute(self, env: Environment) -> AttackResult:
+        machine = env.make_machine()
+        student_cls, grad_cls = make_student_classes()
+        target = machine.text.function_named(self.target_symbol).address
+        pool_size = self.n_students * (UNAME_SIZE + 1)
+
+        # Caller frames (main, libc start code) occupy the top of the
+        # stack; without them the oversized copy would run off the
+        # segment before reaching anything interesting.
+        machine.stack.push_region(1024)
+        frame = machine.push_frame("sortAndAddUname")
+        mem_pool = frame.local_array(CHAR, pool_size, "mem_pool")
+        n_unames_addr = frame.local_scalar(INT, "n_unames", init=0)
+        stud = frame.local_object(student_cls, "stud")
+        env.protect(machine, stud.address, stud.size)
+
+        # The victim's own check, against the *honest* input.
+        machine.stdin.feed(self.n_students)
+        n_unames = machine.stdin.read_int()
+        if n_unames > self.n_students:
+            machine.pop_frame(frame)
+            return self.result(env, succeeded=False, machine=machine, reason="validated")
+        machine.space.write_int(n_unames_addr, n_unames)
+
+        # Step 1 — object overflow rewrites n_unames after validation.
+        gs = env.place(machine, stud, grad_cls)
+        inflated = self.n_students * 4
+        for index in range(3):
+            if gs.element_address("ssn", index) == n_unames_addr:
+                gs.set_element("ssn", index, inflated)
+                break
+        n_unames = machine.space.read_int(n_unames_addr)
+
+        # Step 2 — craft a uname string that reaches the return slot.
+        copy_len = n_unames * (UNAME_SIZE + 1)
+        ret_offset = frame.slots.return_slot - mem_pool.address
+        payload = _benign_unames(self.n_students).ljust(ret_offset, "A")[:ret_offset]
+        payload += encode_pointer(target).decode("latin-1")
+        buf_addr = env.place_array(
+            machine, mem_pool, CHAR, copy_len, arena_size=pool_size
+        ).address
+        machine.space.strncpy(buf_addr, payload, copy_len)
+
+        exit_ = machine.pop_frame(frame)
+        reached = (
+            exit_.execution is not None
+            and exit_.execution.function_name == self.target_symbol
+        )
+        return self.result(
+            env,
+            succeeded=exit_.hijacked and reached,
+            machine=machine,
+            n_unames_after_step1=n_unames,
+            pool_size=pool_size,
+            copy_len=copy_len,
+            hijacked=exit_.hijacked,
+        )
+
+
+class BssArrayOverflowAttack(AttackScenario):
+    """Listing 20: pool in bss; the copy tramples the globals after it."""
+
+    name = "two-step-bss-array"
+    paper_ref = "§4.2, Listing 20"
+    description = "corrupted n_unames lets strncpy trample globals after the pool"
+
+    def __init__(self, n_students: int = 8) -> None:
+        self.n_students = n_students
+
+    def execute(self, env: Environment) -> AttackResult:
+        machine = env.make_machine()
+        student_cls, grad_cls = make_student_classes()
+        pool_size = self.n_students * (UNAME_SIZE + 1)
+
+        mem_pool = machine.static_array(CHAR, pool_size, "mem_pool")
+        machine.static_scalar(INT, "n_staff")
+        machine.write_global("n_staff", 25)
+
+        frame = machine.push_frame("sortAndAddUname")
+        n_unames_addr = frame.local_scalar(INT, "n_unames", init=0)
+        stud = frame.local_object(student_cls, "stud")
+        env.protect(machine, stud.address, stud.size)
+
+        machine.stdin.feed(self.n_students)
+        n_unames = machine.stdin.read_int()
+        if n_unames > self.n_students:
+            machine.pop_frame(frame)
+            return self.result(env, succeeded=False, machine=machine, reason="validated")
+        machine.space.write_int(n_unames_addr, n_unames)
+
+        # Step 1: rewrite n_unames through the object overflow.
+        gs = env.place(machine, stud, grad_cls)
+        inflated = self.n_students * 3
+        for index in range(3):
+            if gs.element_address("ssn", index) == n_unames_addr:
+                gs.set_element("ssn", index, inflated)
+                break
+        n_unames = machine.space.read_int(n_unames_addr)
+
+        # Step 2: the copy runs past the pool into n_staff.
+        copy_len = n_unames * (UNAME_SIZE + 1)
+        payload = "Z" * copy_len
+        buf_addr = env.place_array(
+            machine, mem_pool, CHAR, copy_len, arena_size=pool_size
+        ).address
+        machine.space.strncpy(buf_addr, payload, copy_len)
+
+        staff_after = machine.read_global("n_staff")
+        machine.pop_frame(frame)
+        return self.result(
+            env,
+            succeeded=(staff_after != 25),
+            machine=machine,
+            n_unames_after_step1=n_unames,
+            n_staff_after=staff_after,
+            pool_size=pool_size,
+            copy_len=copy_len,
+        )

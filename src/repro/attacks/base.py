@@ -1,0 +1,292 @@
+"""Attack-scenario scaffolding: environments, results, classification.
+
+Every attack from Sections 3–4 is an :class:`AttackScenario` that runs
+against an :class:`Environment` — a bundle of hardening choices (canary
+policy, NX, checked placement, shadow memory, sanitize-on-reuse).  The
+unprotected environment reproduces the paper's Ubuntu 10.04 results; the
+protected ones populate the attack × defense matrix of experiment E14.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field, replace
+from typing import Any, Optional
+
+from ..core.checked import checked_placement_new, checked_placement_new_array
+from ..core.placement import placement_new, placement_new_array
+from ..core.sanitize import sanitize
+from ..cxx.classdef import ClassDef
+from ..cxx.object_model import CArrayView, Instance
+from ..cxx.types import CType
+from ..errors import (
+    BoundsCheckViolation,
+    NonExecutableMemory,
+    OutOfMemory,
+    RedZoneViolation,
+    SegmentationFault,
+    SimulatedProcessError,
+    SimulatedTimeout,
+    StackSmashingDetected,
+)
+from ..memory.pool import CheckedMemoryPool, MemoryPool
+from ..memory.shadow import ShadowMemory
+from ..runtime.canary import CanaryPolicy
+from ..runtime.machine import Machine, MachineConfig
+
+
+@dataclass(frozen=True)
+class Environment:
+    """One hardening configuration a scenario runs under."""
+
+    label: str = "unprotected"
+    machine_config: MachineConfig = field(default_factory=MachineConfig)
+    checked_placement: bool = False
+    shadow_redzones: bool = False
+    sanitize_on_reuse: bool = False
+    checked_pools: bool = False
+    shadow_return_stack: bool = False
+    vtable_integrity: bool = False
+
+    # -- machine construction ---------------------------------------------
+
+    def make_machine(self) -> Machine:
+        """Build the victim process for this environment."""
+        machine = Machine(self.machine_config)
+        if self.shadow_redzones:
+            shadow = ShadowMemory(machine.space)
+            machine.shadow = shadow  # type: ignore[attr-defined]
+            shadow.arm()
+        if self.shadow_return_stack:
+            from ..defenses.shadow_stack import protect_machine as protect_returns
+
+            machine.return_shadow = protect_returns(machine)  # type: ignore[attr-defined]
+        if self.vtable_integrity:
+            from ..defenses.vtable_integrity import protect_machine as protect_vtables
+
+            machine.vtable_guard = protect_vtables(machine)  # type: ignore[attr-defined]
+        return machine
+
+    # -- placement dispatch (the Section 5.1 hook point) -----------------------
+
+    def place(
+        self,
+        machine: Machine,
+        target: Any,
+        class_def: ClassDef,
+        *args: Any,
+        arena_size: Optional[int] = None,
+    ) -> Instance:
+        """Placement new through this environment's discipline."""
+        if self.sanitize_on_reuse:
+            self._sanitize_target(machine, target, arena_size)
+        if self.checked_placement:
+            return checked_placement_new(
+                machine, target, class_def, *args, arena_size=arena_size
+            )
+        return placement_new(machine, target, class_def, *args)
+
+    def place_array(
+        self,
+        machine: Machine,
+        target: Any,
+        element: CType,
+        count: int,
+        arena_size: Optional[int] = None,
+    ) -> CArrayView:
+        """Array placement through this environment's discipline."""
+        if self.sanitize_on_reuse:
+            self._sanitize_target(machine, target, arena_size)
+        if self.checked_placement:
+            return checked_placement_new_array(
+                machine, target, element, count, arena_size=arena_size
+            )
+        return placement_new_array(machine, target, element, count)
+
+    def _sanitize_target(
+        self, machine: Machine, target: Any, arena_size: Optional[int]
+    ) -> None:
+        from ..core.placement import resolve_target
+
+        address, inferred = resolve_target(target)
+        size = arena_size if arena_size is not None else inferred
+        if size:
+            sanitize(machine.space, address, size)
+
+    # -- pools ---------------------------------------------------------------
+
+    def make_pool(
+        self, machine: Machine, base: int, capacity: int, name: str = "pool"
+    ) -> MemoryPool:
+        """A pool under this environment's discipline."""
+        cls = CheckedMemoryPool if self.checked_pools else MemoryPool
+        return cls(machine.space, base, capacity, name=name)
+
+    # -- shadow --------------------------------------------------------------
+
+    def protect(self, machine: Machine, address: int, size: int) -> None:
+        """Register a victim arena with the shadow sanitizer (no-op when
+        red zones are disabled)."""
+        shadow = getattr(machine, "shadow", None)
+        if shadow is not None:
+            shadow.disarm()
+            shadow.protect_arena(address, size)
+            shadow.arm()
+
+
+# Canonical environments (the E14 matrix columns).
+
+UNPROTECTED = Environment(label="unprotected")
+
+STACKGUARD = Environment(
+    label="stackguard",
+    machine_config=MachineConfig(
+        canary_policy=CanaryPolicy.RANDOM, save_frame_pointer=True
+    ),
+)
+
+CHECKED_PLACEMENT = Environment(
+    label="checked-placement",
+    checked_placement=True,
+    checked_pools=True,
+)
+
+SHADOW_MEMORY = Environment(label="shadow-memory", shadow_redzones=True)
+
+NX_STACK = Environment(
+    label="nx",
+    machine_config=MachineConfig(nx_stack=True, nx_heap=True),
+)
+
+SANITIZE = Environment(label="sanitize-on-reuse", sanitize_on_reuse=True)
+
+SHADOW_RETURN_STACK = Environment(
+    label="shadow-return-stack", shadow_return_stack=True
+)
+
+VTABLE_INTEGRITY = Environment(label="vtable-integrity", vtable_integrity=True)
+
+ALL_ENVIRONMENTS = (
+    UNPROTECTED,
+    STACKGUARD,
+    CHECKED_PLACEMENT,
+    SHADOW_MEMORY,
+    NX_STACK,
+    SANITIZE,
+    SHADOW_RETURN_STACK,
+    VTABLE_INTEGRITY,
+)
+
+
+def environment_with(base: Environment, **overrides: Any) -> Environment:
+    """Derive a variant environment (dataclasses.replace wrapper)."""
+    return replace(base, **overrides)
+
+
+@dataclass
+class AttackResult:
+    """The outcome of one scenario under one environment."""
+
+    name: str
+    paper_ref: str
+    environment: str
+    succeeded: bool
+    detected_by: Optional[str] = None
+    crashed: bool = False
+    detail: dict = field(default_factory=dict)
+    events: tuple = ()
+
+    @property
+    def prevented(self) -> bool:
+        """True when a defense stopped the attack (detected or crashed
+        before reaching its goal)."""
+        return not self.succeeded
+
+    def describe(self) -> str:
+        """One line for harness tables."""
+        if self.succeeded:
+            status = "SUCCEEDED"
+        elif self.detected_by:
+            status = f"DETECTED by {self.detected_by}"
+        elif self.crashed:
+            status = "CRASHED"
+        else:
+            status = "PREVENTED"
+        return f"{self.name} [{self.environment}]: {status}"
+
+
+#: Mapping from defense-raised exceptions to the defense's name.
+_DETECTION_NAMES = (
+    (StackSmashingDetected, "stackguard"),
+    (BoundsCheckViolation, "bounds-check"),
+    (RedZoneViolation, "shadow-memory"),
+    (NonExecutableMemory, "nx"),
+)
+
+
+def classify_failure(exc: SimulatedProcessError) -> tuple[Optional[str], bool]:
+    """(detected_by, crashed) for an exception that stopped an attack."""
+    from ..defenses.shadow_stack import ReturnAddressTampering
+    from ..defenses.vtable_integrity import VtableIntegrityViolation
+
+    if isinstance(exc, ReturnAddressTampering):
+        return "shadow-return-stack", False
+    if isinstance(exc, VtableIntegrityViolation):
+        return "vtable-integrity", False
+    for exc_type, name in _DETECTION_NAMES:
+        if isinstance(exc, exc_type):
+            return name, False
+    if isinstance(exc, (SegmentationFault, OutOfMemory, SimulatedTimeout)):
+        return None, True
+    return None, True
+
+
+class AttackScenario(abc.ABC):
+    """Base class: one paper attack, runnable under any environment."""
+
+    #: Short identifier used in harness tables.
+    name: str = "attack"
+    #: Where in the paper this attack appears.
+    paper_ref: str = ""
+    #: One-line description.
+    description: str = ""
+
+    @abc.abstractmethod
+    def execute(self, env: Environment) -> AttackResult:
+        """Run the attack; implementations may let simulated-process
+        errors escape — :meth:`run` classifies them."""
+
+    def run(self, env: Optional[Environment] = None) -> AttackResult:
+        """Run under ``env`` (default: unprotected), classifying defenses
+        and crashes into the result."""
+        active = env or UNPROTECTED
+        try:
+            return self.execute(active)
+        except SimulatedProcessError as exc:
+            detected_by, crashed = classify_failure(exc)
+            return AttackResult(
+                name=self.name,
+                paper_ref=self.paper_ref,
+                environment=active.label,
+                succeeded=False,
+                detected_by=detected_by,
+                crashed=crashed,
+                detail={"error": str(exc)},
+            )
+
+    def result(
+        self,
+        env: Environment,
+        succeeded: bool,
+        machine: Optional[Machine] = None,
+        **detail: Any,
+    ) -> AttackResult:
+        """Convenience constructor stamping name/ref/environment."""
+        return AttackResult(
+            name=self.name,
+            paper_ref=self.paper_ref,
+            environment=env.label,
+            succeeded=succeeded,
+            detail=detail,
+            events=tuple(machine.events) if machine is not None else (),
+        )

@@ -1,0 +1,69 @@
+"""Data/bss overflow — paper Section 3.5, Listing 11.
+
+Two uninitialized ``Student`` globals live adjacently in bss.
+``addStudent(false)`` constructs ``stud2`` legitimately;
+``addStudent(true)`` places a ``GradStudent`` at ``stud1`` and reads its
+``ssn[]`` from attacker input — the three words land on the bytes right
+after ``stud1``, i.e. on ``stud2``, corrupting its ``gpa``.
+"""
+
+from __future__ import annotations
+
+from ..memory.encoding import decode_double, encode_int
+from ..workloads.classes import make_student_classes, set_ssn
+from .base import AttackResult, AttackScenario, Environment
+
+
+class DataBssOverflowAttack(AttackScenario):
+    """Listing 11: overflow of ``stud1``'s arena rewrites ``stud2.gpa``."""
+
+    name = "data-bss-overflow"
+    paper_ref = "§3.5, Listing 11"
+    description = "GradStudent placed over bss Student; ssn[] hits the neighbour"
+
+    def __init__(
+        self,
+        ssn_inputs: tuple[int, int, int] = (0x11111111, 0x22222222, 777),
+    ) -> None:
+        self.ssn_inputs = ssn_inputs
+
+    def execute(self, env: Environment) -> AttackResult:
+        machine = env.make_machine()
+        student_cls, grad_cls = make_student_classes()
+        stud1 = machine.static_object(student_cls, "stud1")
+        stud2 = machine.static_object(student_cls, "stud2")
+        env.protect(machine, stud1.address, stud1.size)
+        machine.stdin.feed(*self.ssn_inputs)
+
+        # addStudent(false): legitimate construction of stud2.
+        env.place(machine, stud2, student_cls, 3.5, 2009, 1)
+        gpa_before = stud2.get("gpa")
+
+        # addStudent(true): the vulnerable placement at stud1.
+        st = env.place(machine, stud1, grad_cls, 4.0, 2009, 1)
+        set_ssn(
+            st,
+            machine.stdin.read_int(),
+            machine.stdin.read_int(),
+            machine.stdin.read_int(),
+        )
+
+        gpa_after = stud2.get("gpa")
+        # The paper's observable: ssn[0..1] reinterpreted as stud2.gpa.
+        expected_bytes = encode_int(self.ssn_inputs[0], 4) + encode_int(
+            self.ssn_inputs[1], 4
+        )
+        expected_gpa = decode_double(expected_bytes)
+        corrupted = gpa_after != gpa_before
+        return self.result(
+            env,
+            succeeded=corrupted,
+            machine=machine,
+            gpa_before=gpa_before,
+            gpa_after=gpa_after,
+            matches_injected_bytes=(
+                gpa_after == expected_gpa
+                or (gpa_after != gpa_after and expected_gpa != expected_gpa)
+            ),
+            year_after=stud2.get("year"),
+        )

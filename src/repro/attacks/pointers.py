@@ -1,0 +1,124 @@
+"""Function- and variable-pointer subterfuge — Sections 3.9–3.10.
+
+Listing 17's function pointer is initialized to NULL and guarded by an
+``if``: the routine "would not be invoked if it were assigned a null
+value", so the overflow does double duty — it supplies a target *and*
+enables a call that was never supposed to happen.  Listing 18's variable
+pointer (``char *name``) is redirected so later uses of ``name`` read or
+write attacker-chosen memory or crash.
+"""
+
+from __future__ import annotations
+
+from ..core.new_expr import new_array
+from ..cxx.types import CHAR, CHAR_PTR, FUNC_PTR
+from ..errors import SegmentationFault
+from ..workloads.classes import make_student_classes
+from .base import AttackResult, AttackScenario, Environment
+
+
+class FunctionPointerAttack(AttackScenario):
+    """Listing 17: NULL-guarded fn pointer rewritten and thereby invoked."""
+
+    name = "function-pointer-subterfuge"
+    paper_ref = "§3.9, Listing 17"
+    description = "overflow rewrites a NULL fn pointer; guarded call fires"
+
+    def __init__(self, target_symbol: str = "grantAdminAccess") -> None:
+        self.target_symbol = target_symbol
+
+    def execute(self, env: Environment) -> AttackResult:
+        machine = env.make_machine()
+        student_cls, grad_cls = make_student_classes()
+        target = machine.text.function_named(self.target_symbol).address
+
+        frame = machine.push_frame("addStudent")
+        # bool (*createStudentAccount)(char *uid) = NULL;
+        fn_ptr_address = frame.local_scalar(FUNC_PTR, "createStudentAccount", init=0)
+        stud = frame.local_object(student_cls, "stud")
+        env.protect(machine, stud.address, stud.size)
+
+        # Control: with NULL the guard blocks the call.
+        called_before = machine.space.read_pointer(fn_ptr_address) != 0
+
+        gs = env.place(machine, stud, grad_cls)
+        # Which ssn word lands on the pointer depends on the padding
+        # between stud's end and the 4-byte local above it; compute it
+        # the way the attacker would from the binary.
+        for index in range(3):
+            if gs.element_address("ssn", index) == fn_ptr_address:
+                gs.set_element("ssn", index, target)
+                break
+        else:
+            machine.pop_frame(frame)
+            return self.result(
+                env, succeeded=False, machine=machine, reason="pointer not reachable"
+            )
+
+        pointer_value = machine.space.read_pointer(fn_ptr_address)
+        invoked = None
+        if pointer_value != 0:  # the victim's NULL guard
+            invoked = machine.call_function_pointer(pointer_value)
+        machine.pop_frame(frame)
+        return self.result(
+            env,
+            succeeded=(
+                invoked is not None and invoked.function_name == self.target_symbol
+            ),
+            machine=machine,
+            guard_blocked_before=not called_before,
+            pointer_value=hex(pointer_value),
+            invoked=invoked.function_name if invoked else None,
+        )
+
+
+class VariablePointerAttack(AttackScenario):
+    """Listing 18: ``char *name`` redirected by the overflow."""
+
+    name = "variable-pointer-subterfuge"
+    paper_ref = "§3.10, Listing 18"
+    description = "global char* redirected to attacker-chosen address"
+
+    def __init__(self, redirect_to_secret: bool = True) -> None:
+        self.redirect_to_secret = redirect_to_secret
+
+    def execute(self, env: Environment) -> AttackResult:
+        machine = env.make_machine()
+        student_cls, grad_cls = make_student_classes()
+
+        # Globals, in declaration order: Student stud; char *name;
+        stud = machine.static_object(student_cls, "stud")
+        name_var = machine.static_scalar(CHAR_PTR, "name")
+        env.protect(machine, stud.address, stud.size)
+
+        heap_name = new_array(machine, CHAR, 16)
+        machine.space.strncpy(heap_name.address, "abcdefghijklmno", 16)
+        machine.space.write_pointer(name_var.address, heap_name.address)
+
+        # A "secret" the attacker wants the program to print instead.
+        secret = new_array(machine, CHAR, 16)
+        machine.space.strncpy(secret.address, "TOPSECRETTOKEN", 16)
+
+        injected = secret.address if self.redirect_to_secret else 0x00000004
+        st = env.place(machine, stud, grad_cls)
+        st.set_element("ssn", 0, injected)  # overwrites ptr name
+
+        pointer_after = machine.space.read_pointer(name_var.address)
+        try:
+            read_back = machine.space.read_c_string(pointer_after)
+            crashed = False
+        except SegmentationFault:
+            read_back = None
+            crashed = True
+        redirected = pointer_after == injected
+        succeeded = redirected and (
+            (self.redirect_to_secret and read_back == "TOPSECRETTOKEN")
+            or (not self.redirect_to_secret and crashed)
+        )
+        return self.result(
+            env,
+            succeeded=succeeded,
+            machine=machine,
+            pointer_after=hex(pointer_after),
+            dereference=read_back if not crashed else "SIGSEGV",
+        )

@@ -1,0 +1,140 @@
+"""Stack overflow via object placement — Section 3.6, Listing 13.
+
+``addStudent`` declares a local ``Student stud`` and places a
+``GradStudent`` over it; the loop ``while (++i < 3) { cin >> dssn;
+if (dssn > 0) gs->ssn[i] = dssn; }`` copies attacker words upward into
+the frame's fixed slots.  The ``dssn > 0`` guard is the paper's lever
+for the Section 5.2 StackGuard experiment: feeding non-positive values
+for the canary/FP iterations leaves them intact, and only the return
+address changes — the *selective overwrite* StackGuard cannot see.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..runtime.control_flow import FrameExit
+from ..workloads.classes import make_student_classes
+from .base import AttackResult, AttackScenario, Environment
+
+
+class ReturnAddressAttack(AttackScenario):
+    """Listing 13: rewrite the return address through ``ssn[]``.
+
+    ``inputs`` are the three stdin words; by the paper's convention any
+    non-positive word skips its write.  ``target_symbol`` names the
+    function whose entry address the attacker substitutes wherever an
+    input equals the sentinel ``TARGET`` (resolved per machine, since
+    addresses differ between runs).
+    """
+
+    name = "stack-return-address"
+    paper_ref = "§3.6.1, Listing 13"
+    description = "object overflow rewrites the saved return address"
+
+    #: Sentinel input meaning "the resolved attack target address".
+    TARGET = "TARGET"
+
+    def __init__(
+        self,
+        inputs: Optional[Sequence] = None,
+        target_symbol: str = "system",
+        naive: bool = False,
+    ) -> None:
+        self.inputs = tuple(inputs) if inputs is not None else None
+        self.target_symbol = target_symbol
+        self.naive = naive
+
+    def _default_inputs(self, env: Environment) -> tuple:
+        """Aim the TARGET word at the return slot for this frame shape
+        (the attacker reads the shape off the victim binary).
+
+        ``naive`` fills every word on the way with positive garbage —
+        trampling canary and FP — while the selective default supplies
+        non-positive values so the guarded loop skips those writes.
+        """
+        words: list = (
+            [0x41414141, 0x42424242, 0x43434343] if self.naive else [-1, -1, -1]
+        )
+        ret_index = 0
+        if env.machine_config.save_frame_pointer:
+            ret_index += 1
+        if env.machine_config.canary_policy.enabled:
+            ret_index += 1
+        words[ret_index] = self.TARGET
+        return tuple(words)
+
+    def execute(self, env: Environment) -> AttackResult:
+        machine = env.make_machine()
+        student_cls, grad_cls = make_student_classes()
+        inputs = self.inputs if self.inputs is not None else self._default_inputs(env)
+        target = machine.text.function_named(self.target_symbol).address
+        machine.stdin.feed(
+            *[target if token == self.TARGET else int(token) for token in inputs]
+        )
+
+        frame = machine.push_frame("addStudent")
+        stud = frame.local_object(student_cls, "stud")
+        env.protect(machine, stud.address, stud.size)
+        gs = env.place(machine, stud, grad_cls)
+        for index in range(3):
+            dssn = machine.stdin.read_int()
+            if dssn > 0:
+                gs.set_element("ssn", index, dssn)
+        exit_: FrameExit = machine.pop_frame(frame)
+
+        reached_target = (
+            exit_.execution is not None
+            and exit_.execution.function_name == self.target_symbol
+        )
+        return self.result(
+            env,
+            succeeded=exit_.hijacked and reached_target,
+            machine=machine,
+            hijacked=exit_.hijacked,
+            returned_to=hex(exit_.returned_to),
+            canary_intact=exit_.canary_intact,
+            fp_clobbered=exit_.fp_clobbered,
+            reached=exit_.execution.function_name if exit_.execution else None,
+        )
+
+
+def naive_smash(target_symbol: str = "system") -> ReturnAddressAttack:
+    """All words positive: tramples canary and FP on the way to the
+    return slot (StackGuard catches this variant)."""
+    attack = ReturnAddressAttack(target_symbol=target_symbol, naive=True)
+    attack.name = "stack-naive-smash"
+    return attack
+
+
+def selective_overwrite(
+    env: Environment, target_symbol: str = "system"
+) -> ReturnAddressAttack:
+    """The Section 5.2 evasion: skip every fixed word except the return
+    slot, via the guarded loop's non-positive inputs."""
+    attack = ReturnAddressAttack(target_symbol=target_symbol, naive=False)
+    attack.name = "stack-selective-overwrite"
+    return attack
+
+
+class CanarySkipExperiment(AttackScenario):
+    """The full Section 5.2 experiment as one scenario: under the given
+    environment, run the naive smash and the selective overwrite and
+    report both outcomes."""
+
+    name = "canary-skip-experiment"
+    paper_ref = "§3.6.1 + §5.2"
+    description = "naive smash is detected; selective overwrite is not"
+
+    def execute(self, env: Environment) -> AttackResult:
+        naive_result = naive_smash().run(env)
+        selective_result = selective_overwrite(env).run(env)
+        return self.result(
+            env,
+            # The experiment "succeeds" when the selective variant works.
+            succeeded=selective_result.succeeded,
+            naive=naive_result.describe(),
+            naive_detected=naive_result.detected_by,
+            selective=selective_result.describe(),
+            selective_canary_intact=selective_result.detail.get("canary_intact"),
+        )

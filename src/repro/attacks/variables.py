@@ -1,0 +1,93 @@
+"""Modification of variables — Section 3.7, Listings 14 and 15.
+
+Two victims: a data/bss global (``noOfStudents``) adjacent to the
+overflowed global object, and a stack local (``int n``) declared before
+the local object.  The stack case includes the paper's alignment
+analysis: ``ssn[0]`` lands in the padding hole above ``stud`` and only
+``ssn[1]`` reaches ``n``.
+"""
+
+from __future__ import annotations
+
+from ..cxx.types import INT
+from ..workloads.classes import make_student_classes
+from .base import AttackResult, AttackScenario, Environment
+
+
+class DataVariableAttack(AttackScenario):
+    """Listing 14: overflow of bss ``stud1`` rewrites ``noOfStudents``."""
+
+    name = "data-variable-overwrite"
+    paper_ref = "§3.7.1, Listing 14"
+    description = "global counter adjacent to overflowed bss object rewritten"
+
+    def __init__(self, injected_count: int = 1_000_000) -> None:
+        self.injected_count = injected_count
+
+    def execute(self, env: Environment) -> AttackResult:
+        machine = env.make_machine()
+        student_cls, grad_cls = make_student_classes()
+        stud1 = machine.static_object(student_cls, "stud1")
+        # int noOfStudents = 0; declared right after stud1.  The paper
+        # puts it in data (initialized), but adjacency in our bss image
+        # requires same-segment declaration; bss-with-explicit-zero is
+        # semantically identical and keeps the neighbour relationship.
+        machine.static_scalar(INT, "noOfStudents")
+        env.protect(machine, stud1.address, stud1.size)
+
+        before = machine.read_global("noOfStudents")
+        st = env.place(machine, stud1, grad_cls, 3.0, 2010, 1)
+        st.set_element("ssn", 0, self.injected_count)
+
+        after = machine.read_global("noOfStudents")
+        return self.result(
+            env,
+            succeeded=(after == self.injected_count and after != before),
+            machine=machine,
+            count_before=before,
+            count_after=after,
+        )
+
+
+class StackLocalVariableAttack(AttackScenario):
+    """Listing 15: ``int n = 5; Student stud;`` — ssn[1] rewrites ``n``.
+
+    The result detail records the padding analysis: which ssn index hit
+    the gap and which hit the variable.
+    """
+
+    name = "stack-local-overwrite"
+    paper_ref = "§3.7.2, Listing 15"
+    description = "loop bound n rewritten through padding-aware overflow"
+
+    def __init__(self, injected_n: int = 7777) -> None:
+        self.injected_n = injected_n
+
+    def execute(self, env: Environment) -> AttackResult:
+        machine = env.make_machine()
+        student_cls, grad_cls = make_student_classes()
+
+        frame = machine.push_frame("addStudent")
+        n_address = frame.local_scalar(INT, "n", init=5)
+        stud = frame.local_object(student_cls, "stud")
+        env.protect(machine, stud.address, stud.size)
+
+        gap = frame.gap_above("stud")
+        gs = env.place(machine, stud, grad_cls)
+
+        # The paper's alignment claim: ssn[0] lands in padding, n intact.
+        gs.set_element("ssn", 0, 0x7E57)
+        n_after_ssn0 = machine.space.read_int(n_address)
+        gs.set_element("ssn", 1, self.injected_n)
+        n_after_ssn1 = machine.space.read_int(n_address)
+
+        machine.pop_frame(frame)
+        return self.result(
+            env,
+            succeeded=(n_after_ssn1 == self.injected_n and n_after_ssn0 == 5),
+            machine=machine,
+            padding_above_stud=gap,
+            n_after_ssn0=n_after_ssn0,
+            n_after_ssn1=n_after_ssn1,
+            ssn0_hit_padding=(n_after_ssn0 == 5 and gap == 4),
+        )

@@ -1,0 +1,123 @@
+"""Virtual-table pointer subterfuge — Section 3.8.2.
+
+With ``virtual char* getInfo()`` added, the vptr is the *first entry* of
+every instance, so the same adjacent-object overflows now hit the
+neighbour's vptr before anything else.  The attacker has two payoffs,
+both reproduced here:
+
+* point the vptr at a **fake vtable** whose slot holds the address of an
+  arbitrary function → "invoke arbitrary methods as implementations of
+  getInfo()";
+* write garbage → the next virtual call crashes the program.
+"""
+
+from __future__ import annotations
+
+from ..core.new_expr import construct
+from ..cxx.types import UINT
+from ..errors import SegmentationFault
+from ..workloads.classes import make_student_classes
+from .base import AttackResult, AttackScenario, Environment
+
+
+class VtableSubterfugeDataAttack(AttackScenario):
+    """Via data/bss overflow (the Listing 11 shape, virtual classes)."""
+
+    name = "vtable-subterfuge-bss"
+    paper_ref = "§3.8.2 (via data/bss)"
+    description = "overflow rewrites neighbour's vptr; next vcall is attacker's"
+
+    def __init__(self, fake_vtable: bool = True, target_symbol: str = "system") -> None:
+        self.fake_vtable = fake_vtable
+        self.target_symbol = target_symbol
+
+    def execute(self, env: Environment) -> AttackResult:
+        machine = env.make_machine()
+        student_cls, grad_cls = make_student_classes(virtual=True)
+
+        stud1 = machine.static_object(student_cls, "stud1")
+        stud2 = machine.static_object(student_cls, "stud2")
+        env.protect(machine, stud1.address, stud1.size)
+        construct(machine, student_cls, stud2.address)
+        vptr_before = stud2.read_vptr()
+
+        # The attacker's vptr value: either a fake vtable they stored in
+        # an input buffer, or garbage.
+        if self.fake_vtable:
+            fake_table = machine.static_array(UINT, 2, "attacker_buffer")
+            target = machine.text.function_named(self.target_symbol).address
+            machine.space.write_pointer(fake_table.address, target)
+            injected_vptr = fake_table.address
+        else:
+            injected_vptr = 0x41414141
+
+        # virtual Student is 24B, virtual GradStudent 40B; ssn sits at
+        # +24..+36, so ssn[0] lands exactly on stud2's vptr.
+        st = env.place(machine, stud1, grad_cls)
+        st.set_element("ssn", 0, injected_vptr)
+
+        vptr_after = stud2.read_vptr()
+        try:
+            execution = machine.virtual_call(stud2, "getInfo")
+        except SegmentationFault as exc:
+            # The garbage-vptr payoff: a controlled crash.
+            return self.result(
+                env,
+                succeeded=(not self.fake_vtable and vptr_after != vptr_before),
+                machine=machine,
+                vptr_before=hex(vptr_before),
+                vptr_after=hex(vptr_after),
+                outcome=f"crash: {exc}",
+            )
+        hijacked_call = (
+            execution.function_name == self.target_symbol
+            if self.fake_vtable
+            else False
+        )
+        return self.result(
+            env,
+            succeeded=hijacked_call,
+            machine=machine,
+            vptr_before=hex(vptr_before),
+            vptr_after=hex(vptr_after),
+            outcome=f"dispatched to {execution.function_name}",
+        )
+
+
+class VtableSubterfugeStackAttack(AttackScenario):
+    """Via stack overflow (the Listing 16 shape, virtual classes):
+    the neighbouring local ``first``'s vptr is the victim."""
+
+    name = "vtable-subterfuge-stack"
+    paper_ref = "§3.8.2 (via stack)"
+    description = "stack object overflow rewrites first.__vptr"
+
+    def __init__(self, target_symbol: str = "grantAdminAccess") -> None:
+        self.target_symbol = target_symbol
+
+    def execute(self, env: Environment) -> AttackResult:
+        machine = env.make_machine()
+        student_cls, grad_cls = make_student_classes(virtual=True)
+
+        fake_table = machine.static_array(UINT, 2, "attacker_buffer")
+        target = machine.text.function_named(self.target_symbol).address
+        machine.space.write_pointer(fake_table.address, target)
+
+        frame = machine.push_frame("addStudent")
+        first = frame.local_object(student_cls, "first")
+        env.place(machine, first, student_cls, 3.9, 2008, 2)
+        stud = frame.local_object(student_cls, "stud")
+        env.protect(machine, stud.address, stud.size)
+
+        gs = env.place(machine, stud, grad_cls)
+        gs.set_element("ssn", 0, fake_table.address)  # first.__vptr
+
+        execution = machine.virtual_call(first, "getInfo")
+        machine.pop_frame(frame)
+        return self.result(
+            env,
+            succeeded=(execution.function_name == self.target_symbol),
+            machine=machine,
+            dispatched_to=execution.function_name,
+            privileged=execution.privileged,
+        )

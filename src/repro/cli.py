@@ -1,0 +1,220 @@
+"""Command-line front ends.
+
+``repro-attacks``
+    Run the attack gallery (or one named attack) under a chosen defense
+    environment and print the outcome table; ``--matrix`` prints the
+    full attack × defense matrix (experiment E14).
+
+``repro-analyze``
+    Run the placement-new detector — and optionally the legacy-scanner
+    suite — over MiniC++ source files or the built-in paper corpus.
+    ``--json`` emits machine-readable findings.
+
+``repro-exec``
+    Execute a MiniC++ source file on the simulated machine: choose the
+    entry function, scripted stdin, and hardening flags, then watch the
+    placement log, events, and frame exit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .analysis import analyze_source, simulated_tool_suite
+from .attacks import ALL_ENVIRONMENTS, all_attacks, attack_by_name
+from .defenses import ALL_DEFENSES, evaluate_matrix
+from .workloads.corpus import FULL_CORPUS
+
+
+def _environment_by_label(label: str):
+    for env in ALL_ENVIRONMENTS:
+        if env.label == label:
+            return env
+    choices = ", ".join(env.label for env in ALL_ENVIRONMENTS)
+    raise SystemExit(f"unknown environment '{label}' (choose from: {choices})")
+
+
+def attacks_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``repro-attacks``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-attacks",
+        description="Run the placement-new attack gallery (Kundu & Bertino, ICDCS'11)",
+    )
+    parser.add_argument(
+        "--attack",
+        help="run a single attack by name (default: the whole gallery)",
+    )
+    parser.add_argument(
+        "--env",
+        default="unprotected",
+        help="defense environment label (default: unprotected)",
+    )
+    parser.add_argument(
+        "--matrix",
+        action="store_true",
+        help="run every attack under every defense and print the matrix",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list attack and environment names"
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="include per-attack details"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        print("attacks:")
+        for scenario in all_attacks():
+            print(f"  {scenario.name:38s} {scenario.paper_ref}")
+        print("environments:")
+        for env in ALL_ENVIRONMENTS:
+            print(f"  {env.label}")
+        return 0
+
+    if args.matrix:
+        matrix = evaluate_matrix(all_attacks(), ALL_DEFENSES)
+        print(matrix.render(column_width=24))
+        return 0
+
+    environment = _environment_by_label(args.env)
+    scenarios = (
+        [attack_by_name(args.attack)] if args.attack else all_attacks()
+    )
+    exit_code = 0
+    for scenario in scenarios:
+        result = scenario.run(environment)
+        print(result.describe())
+        if args.verbose:
+            for key, value in result.detail.items():
+                print(f"    {key} = {value}")
+        if args.attack and not result.succeeded and not result.detected_by:
+            exit_code = 1
+    return exit_code
+
+
+def analyze_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``repro-analyze``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-analyze",
+        description="Static placement-new vulnerability detector (MiniC++)",
+    )
+    parser.add_argument(
+        "files", nargs="*", help="MiniC++ source files (default: paper corpus)"
+    )
+    parser.add_argument(
+        "--legacy",
+        action="store_true",
+        help="also run the classic ITS4-style scanners for comparison",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit findings as JSON instead of text",
+    )
+    args = parser.parse_args(argv)
+
+    sources: list[tuple[str, str]] = []
+    if args.files:
+        for path in args.files:
+            with open(path) as handle:
+                sources.append((path, handle.read()))
+    else:
+        sources = [(prog.key, prog.source) for prog in FULL_CORPUS]
+
+    any_flagged = False
+    for name, source in sources:
+        report = analyze_source(source)
+        any_flagged = any_flagged or report.flagged
+        if args.json:
+            print(report.to_json())
+            continue
+        print(f"── {name} ──")
+        print(report.render())
+        if args.legacy:
+            for tool in simulated_tool_suite():
+                print(tool.scan_source(source).render())
+        print()
+    return 1 if any_flagged and args.files else 0
+
+
+def exec_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``repro-exec``."""
+    from .execution import run_source
+    from .runtime import CanaryPolicy, Machine, MachineConfig
+
+    parser = argparse.ArgumentParser(
+        prog="repro-exec",
+        description="Execute MiniC++ source on the simulated 32-bit machine",
+    )
+    parser.add_argument("file", help="MiniC++ source file")
+    parser.add_argument("--entry", default="main", help="entry function")
+    parser.add_argument(
+        "--args",
+        default="",
+        help="comma-separated entry arguments (ints; default: 0,0 for main)",
+    )
+    parser.add_argument(
+        "--stdin", default="", help="comma-separated tokens for cin"
+    )
+    parser.add_argument(
+        "--canary",
+        action="store_true",
+        help="enable the StackGuard-style random canary",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.file) as handle:
+        source = handle.read()
+    machine = Machine(
+        MachineConfig(
+            canary_policy=CanaryPolicy.RANDOM if args.canary else CanaryPolicy.NONE
+        )
+    )
+    entry_args: tuple = ()
+    if args.args:
+        entry_args = tuple(int(token, 0) for token in args.args.split(","))
+    elif args.entry == "main":
+        entry_args = (0, 0)
+    stdin_tokens: tuple = ()
+    if args.stdin:
+        stdin_tokens = tuple(
+            int(token, 0) if not token.lstrip("-").replace(".", "").isalpha()
+            else token
+            for token in args.stdin.split(",")
+        )
+    try:
+        interpreter, outcome = run_source(
+            source,
+            entry=args.entry,
+            args=entry_args,
+            machine=machine,
+            stdin=stdin_tokens,
+        )
+    except Exception as error:  # simulated faults included
+        print(f"simulated process died: {error}")
+        return 1
+    print(f"{args.entry}() returned {outcome.return_value} after {outcome.steps} steps")
+    if outcome.frame_exit is not None and outcome.frame_exit.hijacked:
+        print(
+            f"!! control-flow hijack: returned to "
+            f"{outcome.frame_exit.returned_to:#010x}"
+        )
+    for output in interpreter.outputs:
+        print("stdout:", output)
+    for record in machine.placement_log.records:
+        marker = " OVERFLOW" if record.overflows_arena else ""
+        print(
+            f"placement: {record.type_name} ({record.size}B) at "
+            f"{record.address:#010x}"
+            + (f" arena {record.arena_size}B" if record.arena_size else "")
+            + marker
+        )
+    for event in machine.events:
+        print("event:", event)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry
+    sys.exit(attacks_main())

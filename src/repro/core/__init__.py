@@ -1,0 +1,70 @@
+"""The paper's primary contribution surface: placement new and friends.
+
+:mod:`placement` is the faithful, **unchecked** primitive (the
+vulnerability); :mod:`checked` and :mod:`placement_delete` implement the
+Section 5.1 corrected discipline; :mod:`sanitize` covers the
+information-leak countermeasures; :mod:`new_expr` supplies the ordinary
+heap-backed ``new``/``delete`` the placements are contrasted with.
+"""
+
+from .checked import (
+    checked_placement_new,
+    checked_placement_new_array,
+    place_or_heap_allocate,
+)
+from .new_expr import (
+    NewContext,
+    construct,
+    delete_array,
+    delete_object,
+    new_array,
+    new_object,
+)
+from .placement import (
+    PlacementAuditLog,
+    PlacementRecord,
+    PlacementTarget,
+    placement_new,
+    placement_new_array,
+    placement_new_in_pool,
+    resolve_target,
+)
+from .placement_delete import ArenaOwner, Destructor, placement_delete
+from .sanitize import (
+    PATTERN_ONES,
+    PATTERN_ZERO,
+    SanitizationReport,
+    leaked_bytes,
+    residual_ranges,
+    sanitize,
+    sanitize_residue,
+)
+
+__all__ = [
+    "ArenaOwner",
+    "Destructor",
+    "NewContext",
+    "PATTERN_ONES",
+    "PATTERN_ZERO",
+    "PlacementAuditLog",
+    "PlacementRecord",
+    "PlacementTarget",
+    "SanitizationReport",
+    "checked_placement_new",
+    "checked_placement_new_array",
+    "construct",
+    "delete_array",
+    "delete_object",
+    "leaked_bytes",
+    "new_array",
+    "new_object",
+    "placement_delete",
+    "placement_new",
+    "placement_new_array",
+    "placement_new_in_pool",
+    "place_or_heap_allocate",
+    "residual_ranges",
+    "resolve_target",
+    "sanitize",
+    "sanitize_residue",
+]

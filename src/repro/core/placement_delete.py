@@ -1,0 +1,95 @@
+"""Placement delete — the deallocation discipline C++ never gave us.
+
+Section 4.5: *"Memory management is made harder by the fact that C++ does
+not support a 'placement delete' while it supports 'placement new'."*
+The paper recommends that programs using placement new define their own.
+This module provides that definition, plus the arena-ownership protocol
+the paper describes as the easiest correct option: keep the pointer to
+the *arena* (at its true size), null it only after the arena itself is
+released.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..cxx.object_model import Instance
+from ..errors import ApiMisuseError
+from .new_expr import NewContext
+
+#: A destructor body: ``(machine, instance) -> None``.
+Destructor = Callable[[NewContext, Instance], None]
+
+
+def placement_delete(
+    ctx: NewContext,
+    instance: Instance,
+    destructor: Optional[Destructor] = None,
+) -> None:
+    """Destroy an object created by placement new **without** freeing.
+
+    Runs the destructor (if any) and scrubs the object's extent so a
+    later smaller placement cannot leak it (closing the Listing 22 hole).
+    The storage itself still belongs to the arena's owner.
+    """
+    if destructor is not None:
+        destructor(ctx, instance)
+    ctx.space.fill(instance.address, instance.size, 0)
+
+
+class ArenaOwner:
+    """Owns one heap arena that placement news repeatedly re-use.
+
+    Implements the paper's "easiest" correct protocol: the first pointer
+    keeps the arena's *true* size; intermediate placements never free;
+    :meth:`release` frees exactly the original allocation and only then
+    nulls the pointer.  Using it as a context manager guarantees the
+    release even on exceptions.
+    """
+
+    def __init__(self, ctx: NewContext, size: int, label: str = "arena") -> None:
+        from ..memory.tracker import ArenaOrigin
+
+        if size <= 0:
+            raise ApiMisuseError(f"arena size must be positive, got {size}")
+        self._ctx = ctx
+        self._size = size
+        self._label = label
+        self._address: Optional[int] = ctx.heap.allocate(size)
+        ctx.tracker.record(self._address, size, ArenaOrigin.HEAP_NEW, label=label)
+
+    @property
+    def address(self) -> int:
+        """The arena's base address; raises after release."""
+        if self._address is None:
+            raise ApiMisuseError(f"arena '{self._label}' already released")
+        return self._address
+
+    @property
+    def size(self) -> int:
+        """The arena's true size — never shrunk by placements."""
+        return self._size
+
+    @property
+    def released(self) -> bool:
+        """True once the backing storage has been freed."""
+        return self._address is None
+
+    def release(self) -> None:
+        """Free the arena at its *true* size and null the pointer."""
+        if self._address is None:
+            return
+        # Undo any believed-size shrinkage before freeing, so the
+        # tracker records zero leak for this arena.
+        record = self._ctx.tracker.lookup(self._address)
+        if record is not None:
+            record.believed_size = record.true_size
+        self._ctx.tracker.mark_freed(self._address)
+        self._ctx.heap.free(self._address)
+        self._address = None
+
+    def __enter__(self) -> "ArenaOwner":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()

@@ -1,0 +1,49 @@
+"""Protection techniques (paper Section 5) and their evaluation."""
+
+from .base import (
+    ALL_DEFENSES,
+    BASELINE,
+    CORRECT_CODING,
+    NX_DEFENSE,
+    SANITIZE_DEFENSE,
+    SHADOW_DEFENSE,
+    SHADOW_STACK_DEFENSE,
+    STACKGUARD_DEFENSE,
+    VTABLE_INTEGRITY_DEFENSE,
+    Defense,
+    EvaluationMatrix,
+    MatrixCell,
+    evaluate_matrix,
+)
+from .aslr import StaleAddressAttack, aslr_machine, run_aslr_comparison
+from .leak_discipline import LeakOutcome, run_leak_comparison
+from .libsafe import InterceptionRecord, LibSafePlacementGuard
+from .shadow_stack import ReturnAddressTampering, ShadowReturnStack
+from .vtable_integrity import VtableIntegrityGuard, VtableIntegrityViolation
+
+__all__ = [
+    "ALL_DEFENSES",
+    "BASELINE",
+    "CORRECT_CODING",
+    "Defense",
+    "EvaluationMatrix",
+    "InterceptionRecord",
+    "LeakOutcome",
+    "LibSafePlacementGuard",
+    "MatrixCell",
+    "NX_DEFENSE",
+    "SANITIZE_DEFENSE",
+    "SHADOW_DEFENSE",
+    "SHADOW_STACK_DEFENSE",
+    "STACKGUARD_DEFENSE",
+    "VTABLE_INTEGRITY_DEFENSE",
+    "ReturnAddressTampering",
+    "ShadowReturnStack",
+    "StaleAddressAttack",
+    "aslr_machine",
+    "run_aslr_comparison",
+    "VtableIntegrityGuard",
+    "VtableIntegrityViolation",
+    "evaluate_matrix",
+    "run_leak_comparison",
+]

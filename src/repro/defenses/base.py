@@ -1,0 +1,199 @@
+"""Defense descriptors and the attack × defense evaluation harness.
+
+Section 5 of the paper surveys protections for modifiable and legacy
+software.  Each :class:`Defense` names an :class:`Environment` (the
+mechanical hardening) plus the paper's claims about it; the harness runs
+the full attack gallery against every defense and renders the E14
+matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from ..attacks.base import (
+    CHECKED_PLACEMENT,
+    NX_STACK,
+    SANITIZE,
+    SHADOW_MEMORY,
+    SHADOW_RETURN_STACK,
+    STACKGUARD,
+    UNPROTECTED,
+    VTABLE_INTEGRITY,
+    AttackResult,
+    AttackScenario,
+    Environment,
+)
+
+
+@dataclass(frozen=True)
+class Defense:
+    """One protection technique under evaluation."""
+
+    name: str
+    environment: Environment
+    paper_ref: str = ""
+    deployment: str = "modifiable"  # "modifiable" | "legacy" | "none"
+    notes: str = ""
+
+
+BASELINE = Defense(
+    name="none",
+    environment=UNPROTECTED,
+    paper_ref="§1 (the paper's testbed)",
+    deployment="none",
+    notes="unprotected gcc 4.4.3-style build",
+)
+
+STACKGUARD_DEFENSE = Defense(
+    name="stackguard",
+    environment=STACKGUARD,
+    paper_ref="§5.2 [8]",
+    deployment="legacy",
+    notes="random canary checked in the epilogue; selective overwrites evade it",
+)
+
+CORRECT_CODING = Defense(
+    name="checked-placement",
+    environment=CHECKED_PLACEMENT,
+    paper_ref="§5.1",
+    deployment="modifiable",
+    notes="sizeof()-based bounds check at every placement site",
+)
+
+SHADOW_DEFENSE = Defense(
+    name="shadow-memory",
+    environment=SHADOW_MEMORY,
+    paper_ref="§5.2 (runtime prevention schemes)",
+    deployment="legacy",
+    notes="red zones around victim arenas; catches stray writes",
+)
+
+NX_DEFENSE = Defense(
+    name="nx-stack",
+    environment=NX_STACK,
+    paper_ref="§5.2 (non-executable stacks)",
+    deployment="legacy",
+    notes="stops code injection only; arc injection unaffected",
+)
+
+SANITIZE_DEFENSE = Defense(
+    name="sanitize-on-reuse",
+    environment=SANITIZE,
+    paper_ref="§5.1 (information leaks)",
+    deployment="modifiable",
+    notes="memset before arena reuse; stops information leakage",
+)
+
+SHADOW_STACK_DEFENSE = Defense(
+    name="shadow-ret-stack",
+    environment=SHADOW_RETURN_STACK,
+    paper_ref="§5.2 [27][20] (return address stack)",
+    deployment="legacy",
+    notes="protected copy of every return address; selective overwrites lose",
+)
+
+VTABLE_INTEGRITY_DEFENSE = Defense(
+    name="vtable-integrity",
+    environment=VTABLE_INTEGRITY,
+    paper_ref="§3.8.2 countermeasure (forward-edge CFI)",
+    deployment="legacy",
+    notes="every virtual dispatch validates the vptr against emitted vtables",
+)
+
+ALL_DEFENSES: tuple[Defense, ...] = (
+    BASELINE,
+    STACKGUARD_DEFENSE,
+    CORRECT_CODING,
+    SHADOW_DEFENSE,
+    NX_DEFENSE,
+    SANITIZE_DEFENSE,
+    SHADOW_STACK_DEFENSE,
+    VTABLE_INTEGRITY_DEFENSE,
+)
+
+
+@dataclass
+class MatrixCell:
+    """One (attack, defense) outcome."""
+
+    attack: str
+    defense: str
+    result: AttackResult
+
+    @property
+    def summary(self) -> str:
+        """Compact cell text for the rendered table."""
+        if self.result.succeeded:
+            return "ATTACK-WINS"
+        if self.result.detected_by:
+            return f"detected({self.result.detected_by})"
+        if self.result.crashed:
+            return "crashed"
+        return "prevented"
+
+
+@dataclass
+class EvaluationMatrix:
+    """The E14 attack × defense matrix."""
+
+    defenses: Sequence[Defense]
+    cells: list[MatrixCell] = field(default_factory=list)
+
+    def cell(self, attack_name: str, defense_name: str) -> Optional[MatrixCell]:
+        """Look one outcome up."""
+        for cell in self.cells:
+            if cell.attack == attack_name and cell.defense == defense_name:
+                return cell
+        return None
+
+    def attack_names(self) -> list[str]:
+        """Row labels, in insertion order."""
+        seen: list[str] = []
+        for cell in self.cells:
+            if cell.attack not in seen:
+                seen.append(cell.attack)
+        return seen
+
+    def wins_for_defense(self, defense_name: str) -> int:
+        """How many attacks still succeed under a defense."""
+        return sum(
+            1
+            for cell in self.cells
+            if cell.defense == defense_name and cell.result.succeeded
+        )
+
+    def render(self, column_width: int = 22) -> str:
+        """A fixed-width table suitable for harness output."""
+        header = f"{'attack':40s}" + "".join(
+            f"{d.name:>{column_width}s}" for d in self.defenses
+        )
+        lines = [header, "-" * len(header)]
+        for attack_name in self.attack_names():
+            row = f"{attack_name:40s}"
+            for defense in self.defenses:
+                cell = self.cell(attack_name, defense.name)
+                row += f"{cell.summary if cell else '?':>{column_width}s}"
+            lines.append(row)
+        totals = f"{'attacks succeeding':40s}" + "".join(
+            f"{self.wins_for_defense(d.name):>{column_width}d}" for d in self.defenses
+        )
+        lines.append("-" * len(header))
+        lines.append(totals)
+        return "\n".join(lines)
+
+
+def evaluate_matrix(
+    scenarios: Iterable[AttackScenario],
+    defenses: Sequence[Defense] = ALL_DEFENSES,
+) -> EvaluationMatrix:
+    """Run every scenario under every defense."""
+    matrix = EvaluationMatrix(defenses=tuple(defenses))
+    for scenario in scenarios:
+        for defense in defenses:
+            result = scenario.run(defense.environment)
+            matrix.cells.append(
+                MatrixCell(attack=scenario.name, defense=defense.name, result=result)
+            )
+    return matrix

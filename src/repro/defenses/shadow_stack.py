@@ -1,0 +1,82 @@
+"""Return-address stack — the §5.2 alternative StackGuard comparison.
+
+The paper: *"In order to provide non-executable stacks, a possible
+approach is to use a return address stack, which holds the return
+addresses of functions"* ([27] Wilander & Kamkar, [20] Ragel).  Unlike a
+canary — which only notices writes *between* the locals and the saved
+registers — a shadow stack compares the return address itself against a
+protected copy, so the E4 selective overwrite cannot evade it.
+
+Implemented as a machine wrapper: :func:`protect_machine` interposes on
+``push_frame``/``pop_frame``, keeping the copies outside the simulated
+address space (as a hardware or kernel-protected region would be).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SimulatedProcessError
+from ..runtime.frames import CallFrame
+from ..runtime.machine import Machine
+
+
+class ReturnAddressTampering(SimulatedProcessError):
+    """The shadow stack rejected a mismatched return address."""
+
+    def __init__(self, function: str, expected: int, found: int) -> None:
+        self.function = function
+        self.expected = expected
+        self.found = found
+        super().__init__(
+            f"return-address stack mismatch in {function}: "
+            f"stored {expected:#010x}, frame holds {found:#010x}"
+        )
+
+
+@dataclass
+class ShadowReturnStack:
+    """Protected copies of every live frame's return address."""
+
+    machine: Machine
+    _stack: list = field(default_factory=list)
+    checks: int = 0
+    tamper_events: int = 0
+
+    def attach(self) -> None:
+        """Interpose on the machine's frame push/pop."""
+        original_push = self.machine.push_frame
+        original_pop = self.machine.pop_frame
+
+        def guarded_push(name: str) -> CallFrame:
+            frame = original_push(name)
+            self._stack.append((frame.name, frame.original_return))
+            return frame
+
+        def guarded_pop(frame: CallFrame):
+            self.checks += 1
+            stored_name, stored_return = self._stack.pop()
+            found = frame.read_return_address()
+            if found != stored_return:
+                self.tamper_events += 1
+                # Restore the protected copy and abort, as [20] does in
+                # hardware; we abort (strictest policy).
+                raise ReturnAddressTampering(
+                    frame.name, expected=stored_return, found=found
+                )
+            return original_pop(frame)
+
+        self.machine.push_frame = guarded_push  # type: ignore[method-assign]
+        self.machine.pop_frame = guarded_pop  # type: ignore[method-assign]
+
+    @property
+    def depth(self) -> int:
+        """Live protected frames."""
+        return len(self._stack)
+
+
+def protect_machine(machine: Machine) -> ShadowReturnStack:
+    """Attach a shadow return stack to ``machine`` and return it."""
+    shadow = ShadowReturnStack(machine)
+    shadow.attach()
+    return shadow

@@ -1,0 +1,232 @@
+"""The flat virtual address space of the simulated process.
+
+An :class:`AddressSpace` maps virtual addresses to :class:`Segment`
+objects laid out like a classic 32-bit Linux/ELF process image::
+
+    0x08048000  text   (code; vtables and function entry points live here)
+    0x0804c000  data   (initialized globals)
+    0x08050000  bss    (zero-initialized globals)
+    0x08060000  heap   (grows upward)
+    0xbfff0000  stack  (grows downward from 0xc0000000)
+
+All reads and writes in the library flow through this class, so it is the
+single choke point where watchpoints, taint propagation and the shadow
+memory sanitizer hook in.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from ..errors import ApiMisuseError, SegmentationFault
+from . import encoding
+from .segments import Permissions, Segment, SegmentKind
+
+# Default image geometry (see module docstring).
+DEFAULT_LAYOUT = {
+    SegmentKind.TEXT: (0x08048000, 0x4000),
+    SegmentKind.DATA: (0x0804C000, 0x4000),
+    SegmentKind.BSS: (0x08050000, 0x8000),
+    SegmentKind.HEAP: (0x08060000, 0x40000),
+    SegmentKind.STACK: (0xBFFF0000, 0x10000),
+}
+
+#: Signature of a memory-access observer: (address, data, is_write).
+AccessHook = Callable[[int, bytes, bool], None]
+
+
+class AddressSpace:
+    """Byte-addressable memory of one simulated process."""
+
+    def __init__(
+        self,
+        layout: Optional[dict] = None,
+        nx_stack: bool = False,
+        nx_heap: bool = False,
+        strict_alignment: bool = False,
+    ) -> None:
+        """Create the process image.
+
+        ``nx_stack`` / ``nx_heap`` strip execute permission from those
+        segments, modelling the non-executable-stack mitigation the paper
+        discusses for legacy software (Section 5.2).  ``strict_alignment``
+        makes misaligned typed accesses fault with a bus error, modelling
+        the strict targets behind the paper's §2.5 alignment warning
+        (x86, the paper's testbed, is permissive — the default).
+        """
+        self.strict_alignment = strict_alignment
+        self._segments: list[Segment] = []
+        self._hooks: list[AccessHook] = []
+        geometry = dict(DEFAULT_LAYOUT)
+        if layout:
+            geometry.update(layout)
+        for kind, (base, size) in sorted(geometry.items(), key=lambda kv: kv[1][0]):
+            permissions = None
+            if kind is SegmentKind.STACK and nx_stack:
+                permissions = Permissions(read=True, write=True, execute=False)
+            if kind is SegmentKind.HEAP and nx_heap:
+                permissions = Permissions(read=True, write=True, execute=False)
+            self._segments.append(
+                Segment(kind=kind, base=base, size=size, permissions=permissions)
+            )
+        self._check_no_overlap()
+
+    def _check_no_overlap(self) -> None:
+        ordered = sorted(self._segments, key=lambda s: s.base)
+        for before, after in zip(ordered, ordered[1:]):
+            if before.end > after.base:
+                raise ApiMisuseError(
+                    f"segments overlap: {before.describe()} vs {after.describe()}"
+                )
+
+    # -- segment lookup ---------------------------------------------------
+
+    @property
+    def segments(self) -> Iterable[Segment]:
+        """The mapped segments, in address order."""
+        return tuple(sorted(self._segments, key=lambda s: s.base))
+
+    def segment(self, kind: SegmentKind) -> Segment:
+        """Return the (single) segment of ``kind``."""
+        for seg in self._segments:
+            if seg.kind is kind:
+                return seg
+        raise ApiMisuseError(f"no segment of kind {kind}")
+
+    def segment_at(self, address: int) -> Segment:
+        """Return the segment mapping ``address`` or fault."""
+        for seg in self._segments:
+            if seg.contains(address):
+                return seg
+        raise SegmentationFault(address, "read", "address is unmapped")
+
+    def find_segment(self, address: int) -> Optional[Segment]:
+        """Like :meth:`segment_at` but returns None instead of faulting."""
+        for seg in self._segments:
+            if seg.contains(address):
+                return seg
+        return None
+
+    def is_mapped(self, address: int, length: int = 1) -> bool:
+        """True if the whole range is inside one mapped segment."""
+        seg = self.find_segment(address)
+        return seg is not None and seg.contains(address, length)
+
+    # -- observers ---------------------------------------------------------
+
+    def add_access_hook(self, hook: AccessHook) -> None:
+        """Register an observer called on every read and write."""
+        self._hooks.append(hook)
+
+    def remove_access_hook(self, hook: AccessHook) -> None:
+        """Unregister a previously added observer."""
+        self._hooks.remove(hook)
+
+    def _notify(self, address: int, data: bytes, is_write: bool) -> None:
+        for hook in self._hooks:
+            hook(address, data, is_write)
+
+    # -- raw access ----------------------------------------------------------
+
+    def read(self, address: int, length: int) -> bytes:
+        """Read ``length`` bytes starting at ``address``.
+
+        The range may not straddle two segments — real processes have
+        unmapped guard gaps between segments, and running off the end of
+        one is exactly the segfault the paper's wild overflows produce.
+        """
+        if length < 0:
+            raise ApiMisuseError(f"negative read length {length}")
+        seg = self.find_segment(address)
+        if seg is None:
+            raise SegmentationFault(address, "read", "address is unmapped")
+        data = seg.read(address, length)
+        self._notify(address, data, False)
+        return data
+
+    def write(self, address: int, data: bytes) -> None:
+        """Write ``data`` starting at ``address`` (no bounds checking
+        beyond segment limits — this is what makes overflows possible)."""
+        seg = self.find_segment(address)
+        if seg is None:
+            raise SegmentationFault(address, "write", "address is unmapped")
+        seg.write(address, bytes(data))
+        self._notify(address, bytes(data), True)
+
+    def fill(self, address: int, length: int, byte: int = 0) -> None:
+        """memset: used by the sanitization defense (Section 5.1)."""
+        self.write(address, bytes([byte]) * length)
+
+    def memmove(self, dest: int, src: int, length: int) -> None:
+        """Copy ``length`` bytes from ``src`` to ``dest`` (overlap-safe)."""
+        self.write(dest, self.read(src, length))
+
+    # -- typed access -------------------------------------------------------
+
+    def _check_aligned(self, address: int, alignment: int, access: str) -> None:
+        if self.strict_alignment and address % alignment != 0:
+            from ..errors import BusError
+
+            raise BusError(address, alignment, access)
+
+    def read_int(self, address: int, width: int = 4, signed: bool = True) -> int:
+        """Read a little-endian integer."""
+        self._check_aligned(address, width, "read")
+        return encoding.decode_int(self.read(address, width), signed=signed)
+
+    def write_int(
+        self, address: int, value: int, width: int = 4, signed: bool = True
+    ) -> None:
+        """Write a little-endian integer (wraps modulo width)."""
+        self._check_aligned(address, width, "write")
+        self.write(address, encoding.encode_int(value, width, signed=signed))
+
+    def read_double(self, address: int) -> float:
+        """Read an IEEE-754 binary64."""
+        self._check_aligned(address, encoding.DOUBLE_ALIGN, "read")
+        return encoding.decode_double(self.read(address, encoding.DOUBLE_SIZE))
+
+    def write_double(self, address: int, value: float) -> None:
+        """Write an IEEE-754 binary64."""
+        self._check_aligned(address, encoding.DOUBLE_ALIGN, "write")
+        self.write(address, encoding.encode_double(value))
+
+    def read_pointer(self, address: int) -> int:
+        """Read a 32-bit pointer."""
+        self._check_aligned(address, encoding.POINTER_SIZE, "read")
+        return encoding.decode_pointer(self.read(address, encoding.POINTER_SIZE))
+
+    def write_pointer(self, address: int, value: int) -> None:
+        """Write a 32-bit pointer."""
+        self._check_aligned(address, encoding.POINTER_SIZE, "write")
+        self.write(address, encoding.encode_pointer(value))
+
+    def read_c_string(self, address: int, max_length: int = 4096) -> str:
+        """Read a NUL-terminated string (capped at ``max_length`` bytes)."""
+        collected = bytearray()
+        cursor = address
+        while len(collected) < max_length:
+            byte = self.read(cursor, 1)[0]
+            if byte == 0:
+                break
+            collected.append(byte)
+            cursor += 1
+        return collected.decode("latin-1", errors="replace")
+
+    def write_c_string(self, address: int, text: str) -> None:
+        """Write a NUL-terminated string."""
+        self.write(address, encoding.encode_c_string(text))
+
+    def strncpy(self, dest: int, src_text: str, count: int) -> None:
+        """C ``strncpy``: copy at most ``count`` bytes, zero-padding.
+
+        Faithful to the libc contract the paper's Listing 19 relies on:
+        perfectly "safe" as long as ``count`` matches the destination size
+        — and an overflow vehicle the moment the size variable has been
+        corrupted.
+        """
+        self.write(dest, encoding.encode_c_string(src_text, buffer_size=count))
+
+    def describe(self) -> str:
+        """Render the memory map like ``/proc/<pid>/maps``."""
+        return "\n".join(seg.describe() for seg in self.segments)

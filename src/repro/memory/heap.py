@@ -1,0 +1,215 @@
+"""A dlmalloc-style free-list heap allocator for the simulated process.
+
+``operator new`` without placement (Section 2 of the paper) bottoms out
+here.  The allocator implements the classic boundary-tag design: each
+block carries an 8-byte header (size + status) written *into simulated
+memory*, blocks are split on allocation and coalesced with free
+neighbours on free.  Keeping the metadata in-band matters: heap overflows
+(Listing 12) clobber real allocator state, exactly as on glibc.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from ..errors import ApiMisuseError, DoubleFree, InvalidFree, OutOfMemory
+from .address_space import AddressSpace
+from .alignment import align_up
+from .segments import SegmentKind
+
+HEADER_SIZE = 8
+#: Minimum payload so a freed block can always rejoin the free list.
+MIN_PAYLOAD = 8
+#: All payloads are 8-aligned, matching glibc's 2*sizeof(size_t) on i386.
+PAYLOAD_ALIGNMENT = 8
+
+_MAGIC_ALLOCATED = 0xA110C8ED
+_MAGIC_FREE = 0xF4EEF4EE
+
+
+@dataclass(frozen=True)
+class BlockInfo:
+    """Descriptor of one heap block, as read back from simulated memory."""
+
+    header_address: int
+    payload_address: int
+    payload_size: int
+    allocated: bool
+    corrupted: bool = False
+
+    @property
+    def total_size(self) -> int:
+        """Header plus payload."""
+        return HEADER_SIZE + self.payload_size
+
+
+class HeapAllocator:
+    """First-fit free-list allocator with boundary tags and coalescing."""
+
+    def __init__(self, space: AddressSpace) -> None:
+        self._space = space
+        segment = space.segment(SegmentKind.HEAP)
+        self._base = segment.base
+        self._end = segment.end
+        # One giant free block spanning the whole segment.
+        self._write_header(self._base, segment.size - HEADER_SIZE, allocated=False)
+        self._allocated_payloads: set[int] = set()
+        self._bytes_in_use = 0
+        self._allocation_count = 0
+        self._free_count = 0
+
+    # -- header helpers ------------------------------------------------------
+
+    def _write_header(self, header_addr: int, payload_size: int, allocated: bool) -> None:
+        magic = _MAGIC_ALLOCATED if allocated else _MAGIC_FREE
+        self._space.write_int(header_addr, payload_size, width=4, signed=False)
+        self._space.write_int(header_addr + 4, magic, width=4, signed=False)
+
+    def _read_header(self, header_addr: int) -> BlockInfo:
+        payload_size = self._space.read_int(header_addr, width=4, signed=False)
+        magic = self._space.read_int(header_addr + 4, width=4, signed=False)
+        allocated = magic == _MAGIC_ALLOCATED
+        corrupted = magic not in (_MAGIC_ALLOCATED, _MAGIC_FREE)
+        return BlockInfo(
+            header_address=header_addr,
+            payload_address=header_addr + HEADER_SIZE,
+            payload_size=payload_size,
+            allocated=allocated,
+            corrupted=corrupted,
+        )
+
+    def blocks(self) -> Iterator[BlockInfo]:
+        """Walk the heap from the first block; stops at corruption.
+
+        A heap overflow that tramples a header truncates this walk — the
+        same way ``malloc_consolidate`` crashes a real process.
+        """
+        cursor = self._base
+        while cursor + HEADER_SIZE <= self._end:
+            info = self._read_header(cursor)
+            if info.corrupted:
+                yield info
+                return
+            yield info
+            step = info.total_size
+            if step <= 0 or cursor + step > self._end:
+                return
+            cursor += step
+
+    # -- allocation api --------------------------------------------------------
+
+    def allocate(self, size: int) -> int:
+        """Allocate ``size`` bytes; returns the payload address.
+
+        Raises :class:`OutOfMemory` when no free block fits — the
+        allocation failure placement-new users are trying to avoid
+        (paper Section 1, advantage 2).
+        """
+        if size <= 0:
+            raise ApiMisuseError(f"allocation size must be positive, got {size}")
+        needed = align_up(max(size, MIN_PAYLOAD), PAYLOAD_ALIGNMENT)
+        for block in self.blocks():
+            if block.corrupted:
+                break
+            if block.allocated or block.payload_size < needed:
+                continue
+            self._carve(block, needed)
+            self._allocated_payloads.add(block.payload_address)
+            self._bytes_in_use += needed
+            self._allocation_count += 1
+            return block.payload_address
+        raise OutOfMemory(f"heap cannot satisfy allocation of {size} bytes")
+
+    def _carve(self, block: BlockInfo, needed: int) -> None:
+        remainder = block.payload_size - needed
+        if remainder >= HEADER_SIZE + MIN_PAYLOAD:
+            # Split: new free block after the carved allocation.
+            self._write_header(block.header_address, needed, allocated=True)
+            tail_header = block.payload_address + needed
+            self._write_header(
+                tail_header, remainder - HEADER_SIZE, allocated=False
+            )
+        else:
+            # Too small to split; hand over the whole block.
+            self._write_header(
+                block.header_address, block.payload_size, allocated=True
+            )
+
+    def free(self, payload_address: int) -> None:
+        """Free a block previously returned by :meth:`allocate`.
+
+        Detects double frees and wild frees by consulting both the
+        in-band header and the allocator's own bookkeeping.
+        """
+        header_addr = payload_address - HEADER_SIZE
+        if not self._space.is_mapped(header_addr, HEADER_SIZE):
+            raise InvalidFree(payload_address)
+        info = self._read_header(header_addr)
+        if info.corrupted:
+            raise InvalidFree(payload_address)
+        if not info.allocated:
+            raise DoubleFree(payload_address)
+        if payload_address not in self._allocated_payloads:
+            raise InvalidFree(payload_address)
+        self._allocated_payloads.discard(payload_address)
+        self._bytes_in_use -= info.payload_size
+        self._free_count += 1
+        self._write_header(header_addr, info.payload_size, allocated=False)
+        self._coalesce()
+
+    def _coalesce(self) -> None:
+        """Merge adjacent free blocks (one full pass)."""
+        merged = True
+        while merged:
+            merged = False
+            previous: Optional[BlockInfo] = None
+            for block in self.blocks():
+                if block.corrupted:
+                    return
+                if (
+                    previous is not None
+                    and not previous.allocated
+                    and not block.allocated
+                ):
+                    combined = (
+                        previous.payload_size + HEADER_SIZE + block.payload_size
+                    )
+                    self._write_header(
+                        previous.header_address, combined, allocated=False
+                    )
+                    merged = True
+                    break
+                previous = block
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def bytes_in_use(self) -> int:
+        """Total payload bytes currently allocated."""
+        return self._bytes_in_use
+
+    @property
+    def allocation_count(self) -> int:
+        """Number of successful :meth:`allocate` calls."""
+        return self._allocation_count
+
+    @property
+    def free_count(self) -> int:
+        """Number of successful :meth:`free` calls."""
+        return self._free_count
+
+    def live_blocks(self) -> list[BlockInfo]:
+        """Blocks currently allocated (per in-band headers)."""
+        return [b for b in self.blocks() if b.allocated and not b.corrupted]
+
+    def largest_free_block(self) -> int:
+        """Payload size of the largest free block (0 if none)."""
+        sizes = [
+            b.payload_size for b in self.blocks() if not b.allocated and not b.corrupted
+        ]
+        return max(sizes, default=0)
+
+    def is_corrupted(self) -> bool:
+        """True if walking the heap encounters a trampled header."""
+        return any(block.corrupted for block in self.blocks())

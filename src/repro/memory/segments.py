@@ -1,0 +1,124 @@
+"""Segments of the simulated process image.
+
+The paper's attacks are classified by which segment the overflowed arena
+lives in — stack, heap, or data/bss (Section 3.5: *"instances stud1 and
+stud2 are allocated in data/bss area (ELF format)"*).  A
+:class:`Segment` is a contiguous virtual-address range backed by a
+``bytearray``, with read/write/execute permissions so that NX-stack
+defenses (Section 5.2) can be modelled.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..errors import ApiMisuseError, SegmentationFault
+
+
+class SegmentKind(enum.Enum):
+    """The ELF-style segment classes the paper refers to."""
+
+    TEXT = "text"
+    DATA = "data"
+    BSS = "bss"
+    HEAP = "heap"
+    STACK = "stack"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Permissions:
+    """Read/write/execute permission bits for a segment."""
+
+    read: bool = True
+    write: bool = True
+    execute: bool = False
+
+    def describe(self) -> str:
+        """Render like the ``/proc/<pid>/maps`` permission column."""
+        return (
+            ("r" if self.read else "-")
+            + ("w" if self.write else "-")
+            + ("x" if self.execute else "-")
+        )
+
+
+#: Conventional permissions per segment kind for a classic (pre-NX) process,
+#: matching the paper's Ubuntu 10.04 testbed where code injection on the
+#: stack was meaningful.
+DEFAULT_PERMISSIONS = {
+    SegmentKind.TEXT: Permissions(read=True, write=False, execute=True),
+    SegmentKind.DATA: Permissions(read=True, write=True, execute=False),
+    SegmentKind.BSS: Permissions(read=True, write=True, execute=False),
+    SegmentKind.HEAP: Permissions(read=True, write=True, execute=True),
+    SegmentKind.STACK: Permissions(read=True, write=True, execute=True),
+}
+
+
+@dataclass
+class Segment:
+    """A contiguous, byte-addressable region of the simulated image."""
+
+    kind: SegmentKind
+    base: int
+    size: int
+    permissions: Permissions = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ApiMisuseError(f"segment size must be positive, got {self.size}")
+        if self.base < 0:
+            raise ApiMisuseError(f"segment base must be non-negative, got {self.base}")
+        if self.permissions is None:
+            self.permissions = DEFAULT_PERMISSIONS[self.kind]
+        self._data = bytearray(self.size)
+
+    @property
+    def end(self) -> int:
+        """One past the last mapped address."""
+        return self.base + self.size
+
+    def contains(self, address: int, length: int = 1) -> bool:
+        """True if ``[address, address+length)`` lies fully inside."""
+        return self.base <= address and address + length <= self.end
+
+    def _offset(self, address: int, length: int, access: str) -> int:
+        if not self.contains(address, length):
+            raise SegmentationFault(
+                address, access, f"outside {self.kind.value} segment"
+            )
+        return address - self.base
+
+    def read(self, address: int, length: int) -> bytes:
+        """Read ``length`` bytes; faults if unreadable or out of range."""
+        if not self.permissions.read:
+            raise SegmentationFault(address, "read", "segment is not readable")
+        offset = self._offset(address, length, "read")
+        return bytes(self._data[offset : offset + length])
+
+    def write(self, address: int, data: bytes) -> None:
+        """Write ``data``; faults if unwritable or out of range."""
+        if not self.permissions.write:
+            raise SegmentationFault(address, "write", "segment is not writable")
+        offset = self._offset(address, len(data), "write")
+        self._data[offset : offset + len(data)] = data
+
+    def fill(self, address: int, length: int, byte: int = 0) -> None:
+        """memset-style fill, used by memory sanitization (Section 5.1)."""
+        if not 0 <= byte <= 0xFF:
+            raise ApiMisuseError(f"fill byte out of range: {byte}")
+        self.write(address, bytes([byte]) * length)
+
+    def snapshot(self) -> bytes:
+        """Copy of the whole segment's contents (for forensics/diffs)."""
+        return bytes(self._data)
+
+    def describe(self) -> str:
+        """One line in the style of ``/proc/<pid>/maps``."""
+        return (
+            f"{self.base:08x}-{self.end:08x} {self.permissions.describe()} "
+            f"{self.kind.value}"
+        )

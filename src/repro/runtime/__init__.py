@@ -1,0 +1,57 @@
+"""The simulated victim process runtime.
+
+A :class:`Machine` is one process: segments, heap, stack, text image,
+canary source, scripted stdin.  Frames (:mod:`frames`) reproduce the gcc
+stack discipline whose layout the paper's stack attacks index into;
+:mod:`shellcode` interprets injected payloads; :mod:`control_flow`
+classifies where hijacked control ended up.
+"""
+
+from .canary import TERMINATOR_CANARY, CanaryCheck, CanaryPolicy, CanarySource
+from .control_flow import ExecutionKind, ExecutionResult, FrameExit
+from .frames import INITIAL_FRAME_POINTER, CallFrame, FrameSlots
+from .functions import CALLER_SYMBOL, install_standard_library
+from .io import FileSystem, SimulatedFile, SimulatedStdin, password_file
+from .machine import GlobalVar, Machine, MachineConfig
+from .shellcode import (
+    MAX_STEPS,
+    OP_NOP,
+    OP_PUSH,
+    OP_RET,
+    OP_SYSCALL,
+    ShellcodeResult,
+    assemble,
+    interpret,
+    spawn_shell_payload,
+)
+
+__all__ = [
+    "CALLER_SYMBOL",
+    "CallFrame",
+    "CanaryCheck",
+    "CanaryPolicy",
+    "CanarySource",
+    "ExecutionKind",
+    "ExecutionResult",
+    "FileSystem",
+    "FrameExit",
+    "FrameSlots",
+    "GlobalVar",
+    "INITIAL_FRAME_POINTER",
+    "Machine",
+    "MachineConfig",
+    "MAX_STEPS",
+    "OP_NOP",
+    "OP_PUSH",
+    "OP_RET",
+    "OP_SYSCALL",
+    "ShellcodeResult",
+    "SimulatedFile",
+    "SimulatedStdin",
+    "TERMINATOR_CANARY",
+    "assemble",
+    "install_standard_library",
+    "interpret",
+    "password_file",
+    "spawn_shell_payload",
+]

@@ -1,0 +1,74 @@
+"""The simulated program's linked-in functions ("libc" and friends).
+
+Arc injection (Section 3.6.2) needs *existing* functions worth returning
+to — "the address of a method that makes a system call in a privileged
+mode".  This module registers the standard cast into a machine's text
+image: ``system`` (the classic return-to-libc target), ``exit``, an
+admin-only account routine (the function-pointer-subterfuge payoff of
+Listing 17), and the benign landing pad legitimate returns go to.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+CALLER_SYMBOL = "__caller__"
+
+
+def _caller(machine: Any, *args: Any) -> None:
+    """Landing pad representing the legitimate caller's resume point."""
+    machine.record_event("returned-to-caller")
+
+
+def _system(machine: Any, *args: Any) -> str:
+    """libc ``system()`` — the canonical arc-injection target."""
+    machine.record_event("system() invoked")
+    machine.syscalls.append("spawn_shell")
+    return "/bin/sh"
+
+
+def _exit(machine: Any, *args: Any) -> None:
+    """libc ``exit()``."""
+    machine.record_event("exit() invoked")
+
+
+def _create_student_account(machine: Any, *args: Any) -> bool:
+    """The guarded routine of Listing 17 — must only run via a non-NULL,
+    legitimately assigned function pointer."""
+    machine.record_event("createStudentAccount() invoked")
+    return True
+
+
+def _grant_admin(machine: Any, *args: Any) -> bool:
+    """A privileged routine never referenced by the victim's code paths:
+    reachable only through pointer subterfuge."""
+    machine.record_event("admin access granted")
+    machine.syscalls.append("setuid")
+    return True
+
+
+def _log_audit(machine: Any, *args: Any) -> None:
+    """A harmless routine, useful as a 'wrong but safe' transfer target."""
+    machine.record_event("audit log written")
+
+
+def install_standard_library(machine: Any) -> None:
+    """Register the standard functions into ``machine``'s text image."""
+    text = machine.text
+    text.register_function(CALLER_SYMBOL, _caller, description="legit return target")
+    text.register_function(
+        "system", _system, privileged=True, description="libc system()"
+    )
+    text.register_function("exit", _exit, description="libc exit()")
+    text.register_function(
+        "createStudentAccount",
+        _create_student_account,
+        description="guarded account-creation routine (Listing 17)",
+    )
+    text.register_function(
+        "grantAdminAccess",
+        _grant_admin,
+        privileged=True,
+        description="privileged routine reachable only by subterfuge",
+    )
+    text.register_function("logAudit", _log_audit, description="benign audit hook")

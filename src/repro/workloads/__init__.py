@@ -1,0 +1,28 @@
+"""Workload definitions: the paper's example classes and generators
+used by the benchmark harnesses."""
+
+from .classes import (
+    make_mobile_player,
+    make_someclass,
+    make_student_classes,
+    set_ssn,
+)
+from .generators import (
+    DetectorScore,
+    GeneratedProgram,
+    generate_corpus,
+    generate_program,
+    score_detector,
+)
+
+__all__ = [
+    "DetectorScore",
+    "GeneratedProgram",
+    "generate_corpus",
+    "generate_program",
+    "make_mobile_player",
+    "make_someclass",
+    "make_student_classes",
+    "score_detector",
+    "set_ssn",
+]

@@ -1,0 +1,159 @@
+"""The paper's running-example classes (Listing 1 and variants).
+
+``Student`` and ``GradStudent`` appear throughout Sections 3–4; the
+polymorphic variants (with ``virtual char* getInfo()``) drive the vtable
+subterfuge of Section 3.8.2, and ``MobilePlayer`` is the internal-
+overflow host of Listing 10.
+
+Layout ground truth (asserted by tests, derived in DESIGN.md §4):
+
+* plain ``Student``: 16 bytes (gpa@0, year@8, semester@12), align 8;
+* plain ``GradStudent``: 32 bytes (base@0, ssn@16..27, 4B tail padding);
+* virtual ``Student``: 24 bytes (vptr@0, gpa@8, year@16, semester@20);
+* virtual ``GradStudent``: 40 bytes (base@0..23, ssn@24..35, padding).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..cxx.classdef import ClassDef, VirtualMethod, make_class
+from ..cxx.layout import class_type
+from ..cxx.object_model import Instance
+from ..cxx.types import DOUBLE, INT, array_of
+
+
+def _student_default_ctor(ctx: Any, inst: Instance) -> None:
+    """``Student():gpa(0.0), year(0), semester(0) { }``."""
+    inst.set("gpa", 0.0)
+    inst.set("year", 0)
+    inst.set("semester", 0)
+
+
+def _student_value_ctor(
+    ctx: Any, inst: Instance, gpa: float = 0.0, year: int = 0, semester: int = 0
+) -> None:
+    """``Student(double gpa, int year, int semester)``."""
+    inst.set("gpa", gpa)
+    inst.set("year", year)
+    inst.set("semester", semester)
+
+
+def _student_ctor(ctx: Any, inst: Instance, *args: Any) -> None:
+    if not args:
+        _student_default_ctor(ctx, inst)
+    elif len(args) == 1 and isinstance(args[0], Instance):
+        # Copy construction from a (possibly remote) Student-like object.
+        source = args[0]
+        inst.set("gpa", source.get("gpa"))
+        inst.set("year", source.get("year"))
+        inst.set("semester", source.get("semester"))
+    else:
+        _student_value_ctor(ctx, inst, *args)
+
+
+def _grad_ctor(ctx: Any, inst: Instance, *args: Any) -> None:
+    """``GradStudent() { }`` / ``GradStudent(double,int,int)`` /
+    copy-from-Student (Listing 7).
+
+    Mirrors the paper's class: the value constructor assigns the *base*
+    members; ``ssn[]`` stays uninitialized until ``setSSN``/input.
+    """
+    if len(args) == 1 and isinstance(args[0], Instance):
+        source = args[0]
+        inst.set("gpa", source.get("gpa"))
+        inst.set("year", source.get("year"))
+        inst.set("semester", source.get("semester"))
+    elif args:
+        _student_value_ctor(ctx, inst, *args)
+    else:
+        # C++ runs the base default constructor.
+        _student_default_ctor(ctx, inst)
+
+
+def set_ssn(inst: Instance, ssn0: int, ssn1: int, ssn2: int) -> None:
+    """``setSSN`` — writes the three SSN words (no bounds relevance)."""
+    inst.set_element("ssn", 0, ssn0)
+    inst.set_element("ssn", 1, ssn1)
+    inst.set_element("ssn", 2, ssn2)
+
+
+def _student_get_info(machine: Any, inst: Instance, *args: Any) -> str:
+    """``char* Student::getInfo()``."""
+    machine.record_event("Student::getInfo")
+    return f"Student(gpa={inst.get('gpa')})"
+
+
+def _grad_get_info(machine: Any, inst: Instance, *args: Any) -> str:
+    """``char* GradStudent::getInfo()`` — includes the sensitive SSN."""
+    machine.record_event("GradStudent::getInfo")
+    return "GradStudent(ssn=***)"
+
+
+def make_student_classes(virtual: bool = False) -> tuple[ClassDef, ClassDef]:
+    """Fresh ``(Student, GradStudent)`` definitions.
+
+    ``virtual=True`` adds ``virtual char* getInfo()`` to both, changing
+    the layout (vptr first) exactly as Section 3.8.2 describes.
+    """
+    student_virtuals = (
+        (VirtualMethod("getInfo", _student_get_info),) if virtual else ()
+    )
+    student = make_class(
+        "Student",
+        fields=[("gpa", DOUBLE), ("year", INT), ("semester", INT)],
+        virtuals=student_virtuals,
+        constructor=_student_ctor,
+    )
+    grad_virtuals = (
+        (VirtualMethod("getInfo", _grad_get_info),) if virtual else ()
+    )
+    grad = make_class(
+        "GradStudent",
+        bases=[student],
+        fields=[("ssn", array_of(INT, 3))],
+        virtuals=grad_virtuals,
+        constructor=_grad_ctor,
+    )
+    return student, grad
+
+
+def make_mobile_player(student: ClassDef) -> ClassDef:
+    """Listing 10's internal-overflow host:
+    ``class MobilePlayer { Student stud1, stud2; int n; ... };``"""
+    student_member = class_type(student)
+
+    def _ctor(ctx: Any, inst: Instance) -> None:
+        inst.set("n", 0)
+
+    return make_class(
+        "MobilePlayer",
+        fields=[
+            ("stud1", student_member),
+            ("stud2", student_member),
+            ("n", INT),
+        ],
+        constructor=_ctor,
+    )
+
+
+def make_someclass(payload_ints: int = 16) -> ClassDef:
+    """Listing 8's ``Someclass`` — an aggregate whose size a remote
+    object can inflate (we model the inflated shape directly)."""
+
+    def _ctor(ctx: Any, inst: Instance, *values: Any) -> None:
+        if len(values) == 1 and isinstance(values[0], Instance):
+            # Copy construction: replicate the source's full extent —
+            # the indirect-overflow vehicle of Listing 9.
+            source = values[0]
+            data = ctx.space.read(source.address, source.size)
+            ctx.space.write(inst.address, data)
+            return
+        for index, value in enumerate(values[:payload_ints]):
+            inst.set_element("payload", index, value)
+
+    return make_class(
+        f"Someclass{payload_ints}",
+        fields=[("payload", array_of(INT, payload_ints))],
+        constructor=_ctor,
+    )

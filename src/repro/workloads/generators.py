@@ -1,0 +1,227 @@
+"""Randomized MiniC++ program generation for analyzer stress-testing.
+
+The hand-written corpus pins down the paper's listings; the generator
+produces *families* of placement-new programs with known ground truth —
+random class shapes, random arena/placement pairings, optionally wrapped
+in helper functions or guarded by the §5.1 ``sizeof`` idiom.  Tests
+measure the detector's precision/recall over hundreds of generated
+programs, and the benchmarks measure its throughput.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+_SCALARS = ("int", "double", "char", "short", "float")
+
+#: Per-type sizes/alignments on the ILP32 target (matching symbols.py).
+_SIZES = {"int": 4, "double": 8, "char": 1, "short": 2, "float": 4}
+_ALIGNS = {"int": 4, "double": 8, "char": 1, "short": 2, "float": 4}
+
+
+@dataclass(frozen=True)
+class GeneratedProgram:
+    """One generated program with its ground truth."""
+
+    source: str
+    vulnerable: bool
+    arena_size: int
+    placed_size: int
+    shape: str  # "direct" | "helper" | "guarded" | "tainted-array"
+
+    @property
+    def oversize(self) -> int:
+        return max(self.placed_size - self.arena_size, 0)
+
+
+def _layout_size(fields: list) -> int:
+    """Mirror the layout engine: offsets with natural alignment, size
+    rounded to the max alignment."""
+    offset = 0
+    max_align = 1
+    for type_name in fields:
+        align = _ALIGNS[type_name]
+        size = _SIZES[type_name]
+        offset = (offset + align - 1) // align * align + size
+        max_align = max(max_align, align)
+    if offset == 0:
+        offset = 1
+    return (offset + max_align - 1) // max_align * max_align
+
+
+def _derived_size(base_fields: list, extra_fields: list) -> int:
+    """Size of a derived class: the padded base subobject comes first,
+    then the new members (matching the real layout pass)."""
+    offset = _layout_size(base_fields)
+    max_align = max((_ALIGNS[t] for t in base_fields), default=1)
+    for type_name in extra_fields:
+        align = _ALIGNS[type_name]
+        size = _SIZES[type_name]
+        offset = (offset + align - 1) // align * align + size
+        max_align = max(max_align, align)
+    return (offset + max_align - 1) // max_align * max_align
+
+
+def _class_decl(name: str, fields: list) -> str:
+    members = " ".join(
+        f"{type_name} f{i};" for i, type_name in enumerate(fields)
+    )
+    return f"class {name} {{ public: {members} }};"
+
+
+def _random_fields(rng: random.Random, count: int) -> list:
+    return [rng.choice(_SCALARS) for _ in range(count)]
+
+
+def generate_program(
+    rng: random.Random, vulnerable: bool, shape: str | None = None
+) -> GeneratedProgram:
+    """Generate one program whose vulnerability status is known.
+
+    ``shape`` picks the structural family; by default one is drawn at
+    random.  ``vulnerable=True`` guarantees an oversize (or tainted)
+    placement reachable at runtime; ``vulnerable=False`` guarantees the
+    placement fits (or is guarded / constant-bounded).
+    """
+    chosen = shape or rng.choice(("direct", "helper", "guarded", "tainted-array"))
+    if chosen == "tainted-array":
+        return _tainted_array_program(rng, vulnerable)
+    # Build two classes whose relative sizes encode the ground truth.
+    small_fields = _random_fields(rng, rng.randint(1, 4))
+    extra_fields = _random_fields(rng, rng.randint(1, 4))
+    small_size = _layout_size(small_fields)
+    big_size = _derived_size(small_fields, extra_fields)
+    while big_size <= small_size:
+        extra_fields.append(rng.choice(("int", "double")))
+        big_size = _derived_size(small_fields, extra_fields)
+
+    classes = (
+        _class_decl("Small", small_fields)
+        + "\n"
+        + f"class Big : public Small {{ public: "
+        + " ".join(f"{t} g{i};" for i, t in enumerate(extra_fields))
+        + " };"
+    )
+    if vulnerable:
+        arena_type, placed_type = "Small", "Big"
+        arena_size, placed_size = small_size, big_size
+    else:
+        arena_type, placed_type = "Big", "Small"
+        arena_size, placed_size = big_size, small_size
+
+    if chosen == "direct":
+        body = (
+            f"void run() {{\n  {arena_type} arena;\n"
+            f"  {placed_type} *p = new (&arena) {placed_type}();\n}}\n"
+        )
+    elif chosen == "helper":
+        body = (
+            f"{placed_type} *helper({arena_type} *where) {{\n"
+            f"  {placed_type} *p = new (where) {placed_type}();\n"
+            f"  return p;\n}}\n"
+            f"void run() {{\n  {arena_type} arena;\n"
+            f"  {placed_type} *p = helper(&arena);\n}}\n"
+        )
+    elif chosen == "guarded":
+        if vulnerable:
+            # A guard that does NOT protect: it compares the wrong way.
+            condition = f"sizeof({placed_type}) >= sizeof({arena_type})"
+        else:
+            condition = f"sizeof({placed_type}) <= sizeof({arena_type})"
+        body = (
+            f"void run() {{\n  {arena_type} arena;\n"
+            f"  if ({condition}) {{\n"
+            f"    {placed_type} *p = new (&arena) {placed_type}();\n"
+            f"  }}\n}}\n"
+        )
+    else:  # pragma: no cover - exhaustive
+        raise ValueError(chosen)
+    return GeneratedProgram(
+        source=classes + "\n" + body,
+        vulnerable=vulnerable,
+        arena_size=arena_size,
+        placed_size=placed_size,
+        shape=chosen,
+    )
+
+
+def _tainted_array_program(
+    rng: random.Random, vulnerable: bool
+) -> GeneratedProgram:
+    pool = rng.choice((32, 64, 128, 256))
+    if vulnerable:
+        body = (
+            f"char pool[{pool}];\n"
+            "void run() {\n  int n = 0;\n  cin >> n;\n"
+            "  char *buf = new (pool) char[n];\n}\n"
+        )
+        placed = pool + 1  # unknown at compile time; attacker-sized
+    else:
+        constant = rng.randint(1, pool)
+        body = (
+            f"char pool[{pool}];\n"
+            "void run() {\n"
+            f"  char *buf = new (pool) char[{constant}];\n}}\n"
+        )
+        placed = constant
+    return GeneratedProgram(
+        source=body,
+        vulnerable=vulnerable,
+        arena_size=pool,
+        placed_size=placed,
+        shape="tainted-array",
+    )
+
+
+def generate_corpus(
+    seed: int, count: int, vulnerable_ratio: float = 0.5
+) -> list:
+    """A reproducible batch of generated programs."""
+    rng = random.Random(seed)
+    programs = []
+    for index in range(count):
+        vulnerable = rng.random() < vulnerable_ratio
+        programs.append(generate_program(rng, vulnerable))
+    return programs
+
+
+@dataclass(frozen=True)
+class DetectorScore:
+    """Precision/recall of one analyzer over a generated batch."""
+
+    true_positives: int
+    false_positives: int
+    true_negatives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        denominator = self.true_positives + self.false_positives
+        return self.true_positives / denominator if denominator else 1.0
+
+    @property
+    def recall(self) -> float:
+        denominator = self.true_positives + self.false_negatives
+        return self.true_positives / denominator if denominator else 1.0
+
+
+def score_detector(programs: list, flagger) -> DetectorScore:
+    """Score ``flagger(source) -> bool`` against the ground truth."""
+    tp = fp = tn = fn = 0
+    for program in programs:
+        flagged = flagger(program.source)
+        if program.vulnerable and flagged:
+            tp += 1
+        elif program.vulnerable:
+            fn += 1
+        elif flagged:
+            fp += 1
+        else:
+            tn += 1
+    return DetectorScore(
+        true_positives=tp,
+        false_positives=fp,
+        true_negatives=tn,
+        false_negatives=fn,
+    )

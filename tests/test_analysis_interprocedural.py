@@ -1,0 +1,104 @@
+"""Tests for the interprocedural extension of the detector (§3.3/§5.1)."""
+
+import pytest
+
+from repro.analysis import Severity, analyze_source, parse
+from repro.analysis.detector import PlacementNewDetector
+from repro.workloads.corpus import INTERPROC_CORPUS
+
+
+class TestInterproceduralDetection:
+    @pytest.mark.parametrize("program", INTERPROC_CORPUS, ids=lambda p: p.key)
+    def test_expected_rules(self, program):
+        report = analyze_source(program.source)
+        fired = report.rules_fired()
+        missing = set(program.expected_rules) - fired
+        assert not missing, f"missing {missing}, fired {fired}"
+        if not program.expected_rules:
+            assert not report.at_least(Severity.WARNING)
+
+    def test_caller_context_decides_the_helper_verdict(self):
+        """With inlining the bare-pointer placement becomes a decided
+        oversize; intra-procedurally it is only an info note — the exact
+        precision gap the paper attributes to inter-procedural flow."""
+        source = INTERPROC_CORPUS[0].source
+        inter = PlacementNewDetector(parse(source), interprocedural=True).analyze()
+        intra = PlacementNewDetector(parse(source), interprocedural=False).analyze()
+        assert "PN-OVERSIZE" in inter.rules_fired()
+        assert "PN-OVERSIZE" not in intra.rules_fired()
+        assert "PN-UNKNOWN-ARENA" in intra.rules_fired()
+
+    def test_taint_flows_into_callee(self):
+        report = analyze_source(
+            """
+char pool[32];
+void carve(int n) { char *b = new (pool) char[n]; }
+void serve() { int n = 0; cin >> n; carve(n); }
+"""
+        )
+        findings = [f for f in report.findings if f.rule == "PN-TAINTED-COUNT"]
+        assert findings
+        # Either pass suffices: the standalone analysis sees the tainted
+        # parameter, and the inline pass (same site, deduplicated) binds
+        # the caller's stdin taint to it.
+        assert any(
+            "stdin" in f.message or "param:n" in f.message for f in findings
+        )
+
+    def test_globals_visible_inside_callee(self):
+        report = analyze_source(
+            """
+char pool[32];
+void carve() { char *b = new (pool) char[64]; }
+void serve() { carve(); }
+"""
+        )
+        assert "PN-OVERSIZE" in report.rules_fired()
+        assert "PN-UNKNOWN-ARENA" not in report.rules_fired()
+
+    def test_recursion_is_bounded(self):
+        # Self-recursive function must not loop the analyzer.
+        report = analyze_source(
+            """
+void f(int n) { if (n > 0) { f(n - 1); } }
+void g() { f(3); }
+"""
+        )
+        assert report.findings == []
+
+    def test_depth_limit(self):
+        detector = PlacementNewDetector(
+            parse(
+                """
+class A { public: double d; };
+class B : public A { public: int x[8]; };
+void level3(A *p) { B *b = new (p) B(); }
+void level2(A *p) { level3(p); }
+void level1(A *p) { level2(p); }
+void level0(A *p) { level1(p); }
+void entry() { A small; level0(&small); }
+"""
+            )
+        )
+        detector.max_inline_depth = 2
+        report = detector.analyze()
+        # Too deep: the arena fact never reaches level3 — info only.
+        assert "PN-OVERSIZE" not in report.rules_fired()
+        deep = PlacementNewDetector(
+            parse(
+                """
+class A { public: double d; };
+class B : public A { public: int x[8]; };
+void level2(A *p) { B *b = new (p) B(); }
+void level1(A *p) { level2(p); }
+void entry() { A small; level1(&small); }
+"""
+            )
+        )
+        deep.max_inline_depth = 4
+        assert "PN-OVERSIZE" in deep.analyze().rules_fired()
+
+    def test_findings_attributed_to_callee(self):
+        report = analyze_source(INTERPROC_CORPUS[0].source)
+        oversize = [f for f in report.findings if f.rule == "PN-OVERSIZE"]
+        assert oversize[0].function == "placeAt"

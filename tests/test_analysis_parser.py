@@ -1,0 +1,198 @@
+"""Tests for the MiniC++ lexer and parser."""
+
+import pytest
+
+from repro.analysis import Parser, TokenKind, parse, tokenize
+from repro.analysis import ast_nodes as ast
+from repro.errors import ParseError
+from repro.workloads.corpus import FULL_CORPUS
+
+
+class TestLexer:
+    def test_identifiers_and_keywords(self):
+        tokens = tokenize("class Student int x")
+        kinds = [(t.kind, t.text) for t in tokens[:-1]]
+        assert kinds[0] == (TokenKind.KEYWORD, "class")
+        assert kinds[1] == (TokenKind.IDENT, "Student")
+        assert kinds[2] == (TokenKind.IDENT, "int")
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.14 0x1F")
+        assert tokens[0].kind is TokenKind.NUMBER and tokens[0].text == "42"
+        assert tokens[1].kind is TokenKind.FLOAT
+        assert int(tokens[2].text, 0) == 31
+
+    def test_multichar_operators(self):
+        tokens = tokenize("a->b >> c :: ++d")
+        ops = [t.text for t in tokens if t.kind is TokenKind.OP]
+        assert "->" in ops and ">>" in ops and "::" in ops and "++" in ops
+
+    def test_comments_skipped(self):
+        tokens = tokenize("a // line comment\n/* block */ b")
+        idents = [t.text for t in tokens if t.kind is TokenKind.IDENT]
+        assert idents == ["a", "b"]
+
+    def test_string_and_char_literals(self):
+        tokens = tokenize('"hello" \'x\'')
+        assert tokens[0].kind is TokenKind.STRING and tokens[0].text == "hello"
+        assert tokens[1].kind is TokenKind.CHARLIT
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\nc")
+        assert [t.line for t in tokens[:3]] == [1, 2, 3]
+
+    def test_unterminated_string_rejected(self):
+        with pytest.raises(ParseError):
+            tokenize('"never closed')
+
+    def test_preprocessor_skipped(self):
+        tokens = tokenize("#include <iostream>\nint x;")
+        assert tokens[0].text == "int"
+
+
+class TestParserClasses:
+    def test_class_with_inheritance(self):
+        program = parse(
+            "class A { public: int x; };"
+            "class B : public A { public: int y[3]; };"
+        )
+        b = program.class_decl("B")
+        assert b.bases == ("A",)
+        assert b.fields[0].type.is_array
+
+    def test_virtual_method(self):
+        program = parse(
+            "class A { public: virtual char* info(); double d; };"
+        )
+        a = program.class_decl("A")
+        assert a.has_virtual
+        assert a.methods[0].name == "info"
+
+    def test_constructor_with_initializer_list(self):
+        program = parse(
+            "class S { public: S():gpa(0.0), year(0) { } double gpa; int year; };"
+        )
+        s = program.class_decl("S")
+        assert s.methods[0].name == "S"
+
+    def test_multi_declarator_fields(self):
+        program = parse("class S { public: int year, semester; };")
+        assert [f.name for f in program.class_decl("S").fields] == [
+            "year",
+            "semester",
+        ]
+
+    def test_method_with_body(self):
+        program = parse(
+            "class M { public: int s; void f(int *p) { s = 1; } };"
+        )
+        method = program.class_decl("M").methods[0]
+        assert method.body is not None
+        assert isinstance(method.body.statements[0], ast.Assign)
+
+
+class TestParserStatements:
+    def _body(self, code: str) -> ast.Block:
+        program = parse(f"void f(int a, char *p) {{ {code} }}")
+        return program.function("f").body
+
+    def test_placement_new_object(self):
+        body = self._body("int x; int *q = new (&x) int(5);")
+        decl = body.statements[1]
+        assert isinstance(decl.init, ast.NewExpr)
+        assert decl.init.is_placement
+        assert not decl.init.is_array
+
+    def test_placement_new_array(self):
+        body = self._body("char buf[8]; char *q = new (buf) char[20];")
+        new_expr = body.statements[1].init
+        assert new_expr.is_placement and new_expr.is_array
+
+    def test_plain_new(self):
+        body = self._body("int *q = new int[4];")
+        new_expr = body.statements[0].init
+        assert not new_expr.is_placement and new_expr.is_array
+
+    def test_cin_chain(self):
+        body = self._body("int x; int y; cin >> x >> y;")
+        cin = body.statements[2]
+        assert isinstance(cin, ast.CinRead)
+        assert len(cin.targets) == 2
+
+    def test_cout_chain(self):
+        body = self._body('cout << "hi" << a << endl;')
+        cout = body.statements[0]
+        assert isinstance(cout, ast.CoutWrite)
+        assert len(cout.values) == 2
+
+    def test_if_else(self):
+        body = self._body("if (a > 0) { a = 1; } else { a = 2; }")
+        stmt = body.statements[0]
+        assert isinstance(stmt, ast.If)
+        assert stmt.else_body is not None
+
+    def test_while_with_prefix_increment(self):
+        body = self._body("int i = -1; while (++i < 3) { a = i; }")
+        loop = body.statements[1]
+        assert isinstance(loop, ast.While)
+        assert isinstance(loop.cond, ast.Binary)
+        assert isinstance(loop.cond.left, ast.Unary)
+
+    def test_for_loop(self):
+        body = self._body("for (int i = 0; i < 5; ++i) { a = i; }")
+        loop = body.statements[0]
+        assert isinstance(loop, ast.For)
+        assert isinstance(loop.init, ast.VarDecl)
+
+    def test_delete_array(self):
+        body = self._body("delete [] p;")
+        stmt = body.statements[0]
+        assert isinstance(stmt, ast.DeleteStmt) and stmt.is_array
+
+    def test_member_arrow_index(self):
+        body = self._body("a = q->ssn[2];")
+        value = body.statements[0].value
+        assert isinstance(value, ast.Index)
+        assert isinstance(value.base, ast.Member)
+        assert value.base.arrow
+
+    def test_sizeof_type_and_expr(self):
+        body = self._body("a = sizeof(int); a = sizeof(a);")
+        first = body.statements[0].value
+        second = body.statements[1].value
+        assert first.type_name == "int"
+        assert second.expr is not None
+
+    def test_address_of(self):
+        body = self._body("int x; int *q = new (&x) int;")
+        placement = body.statements[1].init.placement
+        assert isinstance(placement, ast.Unary) and placement.op == "&"
+
+    def test_compound_assign_desugars(self):
+        body = self._body("a += 2;")
+        stmt = body.statements[0]
+        assert isinstance(stmt, ast.Assign)
+        assert isinstance(stmt.value, ast.Binary) and stmt.value.op == "+"
+
+    def test_parse_error_reports_location(self):
+        with pytest.raises(ParseError):
+            parse("void f( {")
+
+
+class TestCorpusParses:
+    @pytest.mark.parametrize("program", FULL_CORPUS, ids=lambda p: p.key)
+    def test_parses(self, program):
+        parsed = parse(program.source)
+        assert parsed.functions or parsed.classes
+
+    def test_walk_expressions_finds_placements(self):
+        from repro.workloads.corpus import LISTING_11
+
+        program = parse(LISTING_11.source)
+        fn = program.function("addStudent")
+        news = [
+            e
+            for e in ast.walk_expressions(fn.body)
+            if isinstance(e, ast.NewExpr) and e.is_placement
+        ]
+        assert len(news) == 2

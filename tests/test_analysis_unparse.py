@@ -1,0 +1,104 @@
+"""Round-trip tests for the MiniC++ pretty-printer."""
+
+import pytest
+
+from repro.analysis import analyze_source, parse
+from repro.analysis.unparse import unparse_expr, unparse_program
+from repro.workloads.corpus import FULL_CORPUS, INTERPROC_CORPUS
+
+
+class TestUnparseBasics:
+    def test_simple_function(self):
+        source = "int f(int a) { return a + 1; }"
+        text = unparse_program(parse(source))
+        assert "int f(int a)" in text
+        assert "return (a + 1);" in text
+
+    def test_placement_new_render(self):
+        program = parse(
+            "class A { public: int x; };\n"
+            "void f() { A arena; A *p = new (&arena) A(); }"
+        )
+        text = unparse_program(program)
+        assert "new (&arena) A()" in text
+
+    def test_placement_array_render(self):
+        program = parse("char pool[8]; void f() { char *b = new (pool) char[4]; }")
+        text = unparse_program(program)
+        assert "new (pool) char[4]" in text
+        assert "char pool[8];" in text
+
+    def test_class_with_virtual(self):
+        program = parse(
+            "class A { public: virtual char* info(); double d; };"
+        )
+        text = unparse_program(program)
+        assert "virtual char* info();" in text
+
+    def test_inheritance_render(self):
+        program = parse(
+            "class A { public: int x; };"
+            "class B : public A { public: int y; };"
+        )
+        assert "class B : public A" in unparse_program(program)
+
+    def test_cin_cout(self):
+        program = parse('void f() { int x; cin >> x; cout << "v" << x; }')
+        text = unparse_program(program)
+        assert "cin >> x;" in text
+        assert 'cout << "v" << x << endl;' in text
+
+    def test_control_flow(self):
+        program = parse(
+            "void f(int a) { if (a) { a = 1; } else { a = 2; } "
+            "while (a) { --a; } for (int i = 0; i < 3; ++i) { a = i; } }"
+        )
+        text = unparse_program(program)
+        assert "if (" in text and "else" in text
+        assert "while (" in text
+        assert "for (int i = 0; (i < 3); ++i)" in text
+
+    def test_member_chains(self):
+        program = parse("class P { public: int ssn[3]; }; void f(P *p) { p->ssn[2] = 1; }")
+        assert "p->ssn[2] = 1;" in unparse_program(program)
+
+    def test_delete_forms(self):
+        program = parse("void f(int *p) { delete p; delete [] p; }")
+        text = unparse_program(program)
+        assert "delete p;" in text
+        assert "delete [] p;" in text
+
+    def test_unparse_expr_sizeof(self):
+        program = parse("class A { public: int x; }; void f() { int s = sizeof(A); }")
+        assert "sizeof(A)" in unparse_program(program)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "program", FULL_CORPUS + INTERPROC_CORPUS, ids=lambda p: p.key
+    )
+    def test_reparse_preserves_analysis(self, program):
+        """unparse(parse(src)) analyzes identically to src — the
+        strongest practical equivalence for the whole corpus."""
+        original = analyze_source(program.source)
+        round_tripped = analyze_source(unparse_program(parse(program.source)))
+        assert round_tripped.rules_fired() == original.rules_fired()
+
+    @pytest.mark.parametrize(
+        "program", FULL_CORPUS[:6], ids=lambda p: p.key
+    )
+    def test_unparse_is_idempotent(self, program):
+        once = unparse_program(parse(program.source))
+        twice = unparse_program(parse(once))
+        assert once == twice
+
+    def test_generated_programs_round_trip(self):
+        import random
+
+        from repro.workloads.generators import generate_program
+
+        for seed in range(10):
+            generated = generate_program(random.Random(seed), vulnerable=seed % 2 == 0)
+            original = analyze_source(generated.source)
+            reparsed = analyze_source(unparse_program(parse(generated.source)))
+            assert reparsed.flagged == original.flagged

@@ -1,0 +1,137 @@
+"""Integration tests: control-flow hijack attacks and StackGuard evasion."""
+
+import pytest
+
+from repro.attacks import (
+    NX_STACK,
+    STACKGUARD,
+    UNPROTECTED,
+    ArcInjectionAttack,
+    CanarySkipExperiment,
+    CodeInjectionAttack,
+    Environment,
+    FunctionPointerAttack,
+    ReturnAddressAttack,
+    VariablePointerAttack,
+    VtableSubterfugeDataAttack,
+    VtableSubterfugeStackAttack,
+    naive_smash,
+    selective_overwrite,
+)
+from repro.runtime import CanaryPolicy, MachineConfig
+
+
+class TestReturnAddressAttack:
+    """Listing 13 and the Section 5.2 experiment."""
+
+    def test_hijack_without_protections(self):
+        result = ReturnAddressAttack().run(UNPROTECTED)
+        assert result.succeeded
+        assert result.detail["reached"] == "system"
+
+    def test_no_fp_machine_ssn0_is_enough(self):
+        env = Environment(
+            label="no-fp",
+            machine_config=MachineConfig(
+                canary_policy=CanaryPolicy.NONE, save_frame_pointer=False
+            ),
+        )
+        result = ReturnAddressAttack().run(env)
+        assert result.succeeded
+
+    def test_naive_smash_detected_by_stackguard(self):
+        result = naive_smash().run(STACKGUARD)
+        assert not result.succeeded
+        assert result.detected_by == "stackguard"
+
+    def test_naive_smash_wins_without_stackguard(self):
+        result = naive_smash().run(UNPROTECTED)
+        assert result.succeeded
+
+    def test_selective_overwrite_evades_stackguard(self):
+        result = selective_overwrite(STACKGUARD).run(STACKGUARD)
+        assert result.succeeded
+        assert result.detail["canary_intact"] is True
+
+    def test_canary_skip_experiment_summary(self):
+        result = CanarySkipExperiment().run(STACKGUARD)
+        assert result.succeeded
+        assert result.detail["naive_detected"] == "stackguard"
+        assert result.detail["selective_canary_intact"] is True
+
+    def test_terminator_canary_same_story(self):
+        env = Environment(
+            label="terminator",
+            machine_config=MachineConfig(
+                canary_policy=CanaryPolicy.TERMINATOR, save_frame_pointer=True
+            ),
+        )
+        assert naive_smash().run(env).detected_by == "stackguard"
+        assert selective_overwrite(env).run(env).succeeded
+
+
+class TestInjection:
+    """Section 3.6.2."""
+
+    def test_arc_injection_spawns_shell(self):
+        result = ArcInjectionAttack().run(UNPROTECTED)
+        assert result.succeeded
+        assert result.detail["shell"]
+
+    def test_arc_injection_survives_nx(self):
+        # return-to-libc needs no executable stack.
+        result = ArcInjectionAttack().run(NX_STACK)
+        assert result.succeeded
+
+    def test_code_injection_spawns_shell(self):
+        result = CodeInjectionAttack().run(UNPROTECTED)
+        assert result.succeeded
+        assert result.detail["steps"] > 0
+
+    def test_code_injection_blocked_by_nx(self):
+        result = CodeInjectionAttack().run(NX_STACK)
+        assert not result.succeeded
+        assert result.detected_by == "nx"
+
+
+class TestVtableSubterfuge:
+    """Section 3.8.2."""
+
+    def test_bss_variant_dispatches_to_attacker_function(self):
+        result = VtableSubterfugeDataAttack().run(UNPROTECTED)
+        assert result.succeeded
+        assert "system" in result.detail["outcome"]
+
+    def test_vptr_value_changed(self):
+        result = VtableSubterfugeDataAttack().run(UNPROTECTED)
+        assert result.detail["vptr_before"] != result.detail["vptr_after"]
+
+    def test_garbage_vptr_crashes(self):
+        result = VtableSubterfugeDataAttack(fake_vtable=False).run(UNPROTECTED)
+        assert result.succeeded
+        assert "crash" in result.detail["outcome"]
+
+    def test_stack_variant_reaches_privileged_function(self):
+        result = VtableSubterfugeStackAttack().run(UNPROTECTED)
+        assert result.succeeded
+        assert result.detail["privileged"]
+
+
+class TestPointerSubterfuge:
+    """Sections 3.9–3.10."""
+
+    def test_null_guarded_pointer_invoked(self):
+        result = FunctionPointerAttack().run(UNPROTECTED)
+        assert result.succeeded
+        assert result.detail["guard_blocked_before"]
+        assert result.detail["invoked"] == "grantAdminAccess"
+
+    def test_variable_pointer_redirected_to_secret(self):
+        result = VariablePointerAttack(redirect_to_secret=True).run(UNPROTECTED)
+        assert result.succeeded
+        assert result.detail["dereference"] == "TOPSECRETTOKEN"
+
+    def test_variable_pointer_to_garbage_crashes_use(self):
+        result = VariablePointerAttack(redirect_to_secret=False).run(UNPROTECTED)
+        assert result.succeeded
+        assert result.detail["dereference"] == "SIGSEGV"

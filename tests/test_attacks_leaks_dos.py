@@ -1,0 +1,104 @@
+"""Integration tests: information leaks, DoS, and memory leaks (§4.3–4.5)."""
+
+import pytest
+
+from repro.attacks import (
+    SANITIZE,
+    UNPROTECTED,
+    ArrayInfoLeakAttack,
+    AuthBypassAttack,
+    DosLoopAttack,
+    MemoryLeakAttack,
+    ObjectInfoLeakAttack,
+    ResourceExhaustionAttack,
+    TrackedLeakMeasurement,
+)
+from repro.defenses import run_leak_comparison
+
+
+class TestInfoLeaks:
+    """Listings 21–22."""
+
+    def test_array_leak_ships_password_bytes(self):
+        result = ArrayInfoLeakAttack().run(UNPROTECTED)
+        assert result.succeeded
+        assert result.detail["leaked_bytes"] > 100
+        assert result.detail["contains_password_hash"]
+
+    def test_leak_shrinks_with_longer_userdata(self):
+        short = ArrayInfoLeakAttack(userdata="ab").run(UNPROTECTED)
+        long = ArrayInfoLeakAttack(userdata="a" * 200).run(UNPROTECTED)
+        assert short.detail["leaked_bytes"] > long.detail["leaked_bytes"]
+
+    def test_sanitize_on_reuse_stops_array_leak(self):
+        result = ArrayInfoLeakAttack().run(SANITIZE)
+        assert not result.succeeded
+        assert result.detail["leaked_bytes"] == 0
+
+    def test_object_leak_ships_ssn(self):
+        result = ObjectInfoLeakAttack(ssn=(111, 22, 3333)).run(UNPROTECTED)
+        assert result.succeeded
+        assert result.detail["leaked_ssn"] == [111, 22, 3333]
+
+    def test_sanitize_on_reuse_stops_object_leak(self):
+        result = ObjectInfoLeakAttack().run(SANITIZE)
+        assert not result.succeeded
+
+
+class TestDoS:
+    """Section 4.4."""
+
+    def test_loop_inflation_times_out(self):
+        result = DosLoopAttack(budget=10_000).run(UNPROTECTED)
+        assert result.succeeded
+        assert result.detail["outcome"] == "request timed out"
+        assert result.detail["loop_bound"] > 10_000
+
+    def test_honest_bound_serves_request(self):
+        attack = DosLoopAttack(injected_n=3)
+        result = attack.run(UNPROTECTED)
+        # n is overwritten with 3 — small, so the request is served;
+        # the *mechanism* (overwrite) still worked.
+        assert result.detail["loop_bound"] == 3
+        assert not result.succeeded
+
+    def test_auth_bypass_skips_all_checks(self):
+        result = AuthBypassAttack().run(UNPROTECTED)
+        assert result.succeeded
+        assert result.detail["checks_run"] == 0
+        assert result.detail["checks_expected"] == 5
+
+    def test_resource_exhaustion_reaches_oom(self):
+        result = ResourceExhaustionAttack().run(UNPROTECTED)
+        assert result.succeeded
+        assert result.detail["allocations_before_oom"] > 0
+
+
+class TestMemoryLeak:
+    """Listing 23."""
+
+    def test_leak_per_iteration_is_size_difference(self):
+        result = TrackedLeakMeasurement(iterations=20).run(UNPROTECTED)
+        assert result.succeeded
+        assert result.detail["leak_per_iteration"] == 16  # 32 - 16
+        assert result.detail["total_leaked"] == 20 * 16
+        assert result.detail["uniform"]
+
+    def test_leak_attack_accumulates(self):
+        result = MemoryLeakAttack(iterations=50).run(UNPROTECTED)
+        assert result.succeeded
+        assert result.detail["total_leaked"] == 50 * 16
+
+    def test_exhaustion_variant_kills_heap(self):
+        result = MemoryLeakAttack(until_exhaustion=True).run(UNPROTECTED)
+        assert result.succeeded
+        assert result.detail["heap_exhausted"]
+
+    def test_leak_discipline_comparison(self):
+        outcomes = {o.discipline: o for o in run_leak_comparison(iterations=30)}
+        leaky = outcomes["as-written (Listing 23)"]
+        owner = outcomes["arena-owner protocol"]
+        assert leaky.leaked_bytes == 30 * 16
+        assert owner.leaked_bytes == 0
+        assert outcomes["equal-size-only"].leaked_bytes == 0
+        assert outcomes["equal-size-only"].refused == 30

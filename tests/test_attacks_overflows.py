@@ -1,0 +1,152 @@
+"""Integration tests: the object/array overflow attacks (Sections 3–4)."""
+
+import pytest
+
+from repro.attacks import (
+    CHECKED_PLACEMENT,
+    SHADOW_MEMORY,
+    UNPROTECTED,
+    BssArrayOverflowAttack,
+    ConstructionOverflowAttack,
+    CopyConstructorOverflowAttack,
+    DataBssOverflowAttack,
+    DataVariableAttack,
+    HeapOverflowAttack,
+    IndirectConstructionOverflowAttack,
+    InternalOverflowAttack,
+    MemberVariableAttack,
+    RemoteObjectOverflowAttack,
+    StackArrayOverflowAttack,
+    StackLocalVariableAttack,
+)
+
+
+class TestObjectOverflowRoutes:
+    """Sections 3.1–3.4: every route to an object overflow."""
+
+    def test_construction_overflow(self):
+        result = ConstructionOverflowAttack().run(UNPROTECTED)
+        assert result.succeeded
+        assert result.detail["object_size"] == 32
+        assert result.detail["arena_size"] == 16
+
+    def test_remote_object_overflow_and_taint(self):
+        result = RemoteObjectOverflowAttack().run(UNPROTECTED)
+        assert result.succeeded
+        assert result.detail["remote_n"] == 8
+        assert result.detail["sentinel_tainted"]
+
+    def test_copy_constructor_overflow(self):
+        result = CopyConstructorOverflowAttack().run(UNPROTECTED)
+        assert result.succeeded
+        assert result.detail["copied_gpa"] == 2.2
+
+    def test_indirect_construction_overflow(self):
+        result = IndirectConstructionOverflowAttack().run(UNPROTECTED)
+        assert result.succeeded
+        assert result.detail["intermediate_size"] > result.detail["arena_size"]
+
+    def test_internal_overflow_contained(self):
+        result = InternalOverflowAttack().run(UNPROTECTED)
+        assert result.succeeded
+        assert result.detail["overflow_contained_in_host"]
+
+    def test_checked_placement_blocks_construction(self):
+        result = ConstructionOverflowAttack().run(CHECKED_PLACEMENT)
+        assert not result.succeeded
+        assert result.detected_by == "bounds-check"
+
+    def test_shadow_memory_detects_construction(self):
+        result = ConstructionOverflowAttack().run(SHADOW_MEMORY)
+        assert not result.succeeded
+        assert result.detected_by == "shadow-memory"
+
+
+class TestDataBssOverflow:
+    """Listing 11."""
+
+    def test_neighbour_gpa_corrupted(self):
+        result = DataBssOverflowAttack().run(UNPROTECTED)
+        assert result.succeeded
+        assert result.detail["gpa_before"] == 3.5
+        assert result.detail["gpa_after"] != 3.5
+
+    def test_injected_bytes_land_in_gpa(self):
+        result = DataBssOverflowAttack().run(UNPROTECTED)
+        assert result.detail["matches_injected_bytes"]
+
+    def test_ssn2_lands_in_year(self):
+        result = DataBssOverflowAttack(ssn_inputs=(1, 2, 777)).run(UNPROTECTED)
+        assert result.detail["year_after"] == 777
+
+
+class TestHeapOverflow:
+    """Listing 12."""
+
+    def test_name_clobbered(self):
+        result = HeapOverflowAttack().run(UNPROTECTED)
+        assert result.succeeded
+        assert result.detail["name_before"] == "abcdefghijklmno"
+
+    def test_heap_metadata_corrupted(self):
+        result = HeapOverflowAttack().run(UNPROTECTED)
+        assert result.detail["heap_metadata_corrupted"]
+
+    def test_neighbour_separated_by_header_only(self):
+        result = HeapOverflowAttack().run(UNPROTECTED)
+        from repro.memory import HEADER_SIZE
+
+        assert result.detail["overflow_gap"] == HEADER_SIZE
+
+
+class TestVariableOverwrites:
+    """Listings 14–15."""
+
+    def test_global_counter_overwritten(self):
+        result = DataVariableAttack(injected_count=123456).run(UNPROTECTED)
+        assert result.succeeded
+        assert result.detail["count_before"] == 0
+        assert result.detail["count_after"] == 123456
+
+    def test_stack_local_overwritten_with_alignment(self):
+        result = StackLocalVariableAttack(injected_n=9999).run(UNPROTECTED)
+        assert result.succeeded
+        # The paper's padding analysis, byte for byte:
+        assert result.detail["padding_above_stud"] == 4
+        assert result.detail["n_after_ssn0"] == 5
+        assert result.detail["n_after_ssn1"] == 9999
+        assert result.detail["ssn0_hit_padding"]
+
+
+class TestMemberVariable:
+    """Listing 16."""
+
+    def test_first_gpa_overwritten(self):
+        result = MemberVariableAttack().run(UNPROTECTED)
+        assert result.succeeded
+        assert result.detail["gpa_before"] == 3.9
+        assert result.detail["stud_to_first_gap"] == 0
+
+
+class TestTwoStepArrayOverflow:
+    """Listings 19–20."""
+
+    def test_stack_variant_hijacks_return(self):
+        result = StackArrayOverflowAttack().run(UNPROTECTED)
+        assert result.succeeded
+        assert result.detail["hijacked"]
+        assert result.detail["copy_len"] > result.detail["pool_size"]
+
+    def test_step1_rewrites_size_after_validation(self):
+        result = StackArrayOverflowAttack(n_students=8).run(UNPROTECTED)
+        assert result.detail["n_unames_after_step1"] == 32  # 8 * 4
+
+    def test_bss_variant_tramples_global(self):
+        result = BssArrayOverflowAttack().run(UNPROTECTED)
+        assert result.succeeded
+        assert result.detail["n_staff_after"] != 25
+
+    def test_checked_pools_block_step2(self):
+        result = StackArrayOverflowAttack().run(CHECKED_PLACEMENT)
+        assert not result.succeeded
+        assert result.detected_by == "bounds-check"

@@ -1,0 +1,72 @@
+"""Tests for the command-line front ends."""
+
+import pytest
+
+from repro.cli import analyze_main, attacks_main
+
+
+class TestAttacksCli:
+    def test_list(self, capsys):
+        assert attacks_main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "data-bss-overflow" in out
+        assert "unprotected" in out
+
+    def test_single_attack(self, capsys):
+        assert attacks_main(["--attack", "data-bss-overflow"]) == 0
+        out = capsys.readouterr().out
+        assert "SUCCEEDED" in out
+
+    def test_single_attack_verbose(self, capsys):
+        attacks_main(["--attack", "stack-local-overwrite", "--verbose"])
+        out = capsys.readouterr().out
+        assert "padding_above_stud" in out
+
+    def test_attack_under_defense(self, capsys):
+        assert (
+            attacks_main(
+                ["--attack", "overflow-via-construction", "--env", "checked-placement"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "DETECTED by bounds-check" in out
+
+    def test_unknown_env_rejected(self):
+        with pytest.raises(SystemExit):
+            attacks_main(["--env", "fortress"])
+
+    def test_unknown_attack_rejected(self):
+        with pytest.raises(KeyError):
+            attacks_main(["--attack", "nope"])
+
+
+class TestAnalyzeCli:
+    def test_corpus_default(self, capsys):
+        assert analyze_main([]) == 0
+        out = capsys.readouterr().out
+        assert "PN-OVERSIZE" in out
+        assert "listing11-data-bss" in out
+
+    def test_legacy_comparison(self, capsys):
+        analyze_main(["--legacy"])
+        out = capsys.readouterr().out
+        assert "legacy-strict" in out
+
+    def test_file_argument(self, tmp_path, capsys):
+        source = tmp_path / "vuln.cpp"
+        source.write_text(
+            "class A { public: double d; };\n"
+            "class B : public A { public: int x[8]; };\n"
+            "A arena;\n"
+            "void f() { B *b = new (&arena) B(); }\n"
+        )
+        exit_code = analyze_main([str(source)])
+        out = capsys.readouterr().out
+        assert "PN-OVERSIZE" in out
+        assert exit_code == 1  # findings on user files → nonzero
+
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        source = tmp_path / "fine.cpp"
+        source.write_text("void f() { int x = 1; }\n")
+        assert analyze_main([str(source)]) == 0

@@ -1,0 +1,82 @@
+"""Tests for the ASLR extension."""
+
+import pytest
+
+from repro.defenses.aslr import (
+    ASLR_PAGE,
+    StaleAddressAttack,
+    aslr_machine,
+    randomized_layout,
+    run_aslr_comparison,
+)
+from repro.memory import SegmentKind
+
+
+class TestRandomizedLayout:
+    def test_layouts_differ_across_seeds(self):
+        import random
+
+        a = randomized_layout(random.Random(1))
+        b = randomized_layout(random.Random(2))
+        assert a[SegmentKind.TEXT] != b[SegmentKind.TEXT]
+
+    def test_image_slides_together(self):
+        import random
+
+        layout = randomized_layout(random.Random(3))
+        from repro.memory.address_space import DEFAULT_LAYOUT
+
+        shift = layout[SegmentKind.TEXT][0] - DEFAULT_LAYOUT[SegmentKind.TEXT][0]
+        assert shift % ASLR_PAGE == 0
+        for kind in (SegmentKind.DATA, SegmentKind.BSS, SegmentKind.HEAP):
+            assert (
+                layout[kind][0] - DEFAULT_LAYOUT[kind][0] == shift
+            ), "PIE slides the whole image together"
+
+    def test_stack_randomized_independently_downward(self):
+        import random
+
+        layout = randomized_layout(random.Random(4))
+        from repro.memory.address_space import DEFAULT_LAYOUT
+
+        assert layout[SegmentKind.STACK][0] <= DEFAULT_LAYOUT[SegmentKind.STACK][0]
+
+
+class TestAslrMachine:
+    def test_machine_functional_on_randomized_layout(self):
+        machine = aslr_machine(seed=9)
+        address = machine.heap.allocate(32)
+        machine.space.write_int(address, 7)
+        assert machine.space.read_int(address) == 7
+        frame = machine.push_frame("f")
+        assert machine.pop_frame(frame).normal
+
+    def test_same_seed_same_layout(self):
+        a = aslr_machine(5)
+        b = aslr_machine(5)
+        assert [s.base for s in a.space.segments] == [
+            s.base for s in b.space.segments
+        ]
+
+    def test_system_address_moves(self):
+        a = aslr_machine(1).text.function_named("system").address
+        b = aslr_machine(2).text.function_named("system").address
+        assert a != b
+
+
+class TestStaleAddressAttack:
+    def test_recon_seed_victim_always_wins(self):
+        results = run_aslr_comparison(trials=10)
+        assert results["deterministic_success_rate"] == 1.0
+
+    def test_aslr_mostly_crashes(self):
+        results = run_aslr_comparison(trials=10)
+        assert results["aslr_success_rate"] <= 0.2
+        assert results["aslr_crash_count"] >= 8
+
+    def test_attack_result_details(self):
+        from repro.attacks.base import Environment
+
+        result = StaleAddressAttack(trials=5).run(Environment(label="aslr"))
+        assert result.detail["trials"] == 5
+        assert 0.0 <= result.detail["success_rate"] <= 1.0

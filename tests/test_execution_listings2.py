@@ -1,0 +1,138 @@
+"""More corpus listings executed from source: Listings 4, 6, 7."""
+
+import pytest
+
+from repro.analysis.parser import parse
+from repro.execution import Interpreter, run_source
+from repro.workloads.corpus import LISTING_4, _CLASSES
+
+
+class TestListing4FromSource:
+    def test_construction_overflow_observed(self):
+        interp, _ = run_source(
+            LISTING_4.source, entry="addStudent", args=(4.0,)
+        )
+        # A 32-byte object constructed in a 16-byte stack arena: the
+        # placement itself is the overflow; it is visible in the audit
+        # log even though no ssn write followed.
+        records = interp.machine.placement_log.records
+        assert records and records[-1].size == 32
+
+    def test_constructor_values_land(self):
+        source = _CLASSES + """
+GradStudent target;
+void build() {
+  GradStudent *st = new (&target) GradStudent(3.75, 2012, 2);
+}
+"""
+        interp, _ = run_source(source, entry="build", args=())
+        target = interp.globals.lookup("target")
+        assert interp.machine.space.read_double(target.address) == 3.75
+        assert interp.machine.space.read_int(target.address + 8) == 2012
+
+
+class TestListing6FromSource:
+    # The sentinel must share the bss with stud to be adjacent; an
+    # initialized global would land in .data.  The pad array keeps the
+    # honest-case writes (ssn[0..2], bytes +16..+28) away from it.
+    SOURCE = _CLASSES + """
+class Remote { public: int n; int courseid[2]; };
+Student stud;
+int pad[4];
+int sentinel;
+void setup() { sentinel = 777; }
+void addStudent(Remote *remoteobj) {
+  GradStudent *st = new (&stud) GradStudent(1.0, 2009, 1);
+  int i = -1;
+  while (++i < remoteobj->n) {
+    st->ssn[i] = remoteobj->courseid[i];
+  }
+}
+void attack(int lying_n) {
+  Remote r;
+  r.n = lying_n;
+  r.courseid[0] = 9000;
+  r.courseid[1] = 9001;
+  addStudent(&r);
+}
+"""
+
+    def _attack(self, lying_n):
+        from repro.execution import Interpreter
+        from repro.analysis.parser import parse
+
+        interp = Interpreter(parse(self.SOURCE))
+        interp.run("setup")
+        interp.run("attack", lying_n)
+        return interp
+
+    def test_honest_count_stays_in_bounds(self):
+        interp = self._attack(2)
+        assert interp.machine.read_global("sentinel") == 777
+
+    def test_lying_count_overflows_through_copy_loop(self):
+        """The remote object's n drives writes past ssn[2]: element 4
+        (stud+32) lands in the sentinel global past the pad."""
+        interp = self._attack(6)
+        assert interp.machine.read_global("sentinel") != 777
+
+    def test_copy_loop_reads_its_own_neighbourhood(self):
+        # courseid[i] for i >= 2 reads past the Remote object — the
+        # classic double-sided unchecked copy.  No crash: the stack
+        # neighbourhood is mapped.
+        interp, _ = run_source(self.SOURCE, entry="attack", args=(4,))
+        assert interp.machine.placement_log.records
+
+
+class TestListing7FromSource:
+    SOURCE = _CLASSES + """
+Student stud;
+int sentinel;
+void addStudent(Student *remoteobj) {
+  GradStudent *st = new (&stud) GradStudent(remoteobj->gpa, 2009, 1);
+  st->ssn[0] = 111111111;
+}
+void attack() {
+  Student remote;
+  Student *r = new (&remote) Student(2.5, 2012, 2);
+  addStudent(&remote);
+}
+"""
+
+    def test_copy_constructed_overflow(self):
+        interp, _ = run_source(self.SOURCE, entry="attack", args=())
+        stud = interp.globals.lookup("stud")
+        # The copied gpa arrived...
+        assert interp.machine.space.read_double(stud.address) == 2.5
+        # ...and ssn[0] (stud+16) landed on the bss neighbour.
+        assert interp.machine.read_global("sentinel") == 111111111
+
+
+class TestInterpreterEdgeCases:
+    def test_recursive_program_function(self):
+        interp = Interpreter(
+            parse("int fact(int n) { if (n <= 1) { return 1; } return n * fact(n - 1); }")
+        )
+        assert interp.run("fact", 6).return_value == 720
+
+    def test_nested_frames_restore_stack(self):
+        interp = Interpreter(
+            parse("int inner() { int x = 1; return x; } int outer() { return inner() + inner(); }")
+        )
+        sp_before = interp.machine.stack.stack_pointer
+        assert interp.run("outer").return_value == 2
+        assert interp.machine.stack.stack_pointer == sp_before
+
+    def test_division_truncates_toward_zero(self):
+        interp = Interpreter(parse("int f() { return -7 / 2; }"))
+        assert interp.run("f").return_value == -3  # C semantics
+
+    def test_delete_frees_heap(self):
+        interp = Interpreter(
+            parse(
+                "class P { public: int x; };"
+                "void f() { P *p = new P(); delete p; }"
+            )
+        )
+        interp.run("f")
+        assert interp.machine.heap.bytes_in_use == 0

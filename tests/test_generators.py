@@ -1,0 +1,101 @@
+"""Tests for the randomized program generator and detector scoring."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import Severity, analyze_source, parse
+from repro.workloads.generators import (
+    DetectorScore,
+    GeneratedProgram,
+    generate_corpus,
+    generate_program,
+    score_detector,
+)
+
+
+class TestGeneration:
+    def test_every_shape_generates_and_parses(self):
+        rng = random.Random(1)
+        for shape in ("direct", "helper", "guarded", "tainted-array"):
+            for vulnerable in (True, False):
+                program = generate_program(rng, vulnerable, shape=shape)
+                parsed = parse(program.source)
+                assert parsed.functions
+                assert program.shape == shape
+                assert program.vulnerable == vulnerable
+
+    def test_vulnerable_means_oversize_or_tainted(self):
+        rng = random.Random(2)
+        for _ in range(20):
+            program = generate_program(rng, vulnerable=True)
+            if program.shape == "tainted-array":
+                continue
+            assert program.placed_size > program.arena_size
+
+    def test_safe_means_it_fits(self):
+        rng = random.Random(3)
+        for _ in range(20):
+            program = generate_program(rng, vulnerable=False)
+            if program.shape == "guarded":
+                continue  # guarded may be oversize but unreachable
+            assert program.placed_size <= program.arena_size
+
+    def test_corpus_reproducible(self):
+        a = generate_corpus(seed=5, count=10)
+        b = generate_corpus(seed=5, count=10)
+        assert [p.source for p in a] == [p.source for p in b]
+
+    def test_corpus_mix(self):
+        programs = generate_corpus(seed=6, count=40, vulnerable_ratio=0.5)
+        vulnerable = sum(p.vulnerable for p in programs)
+        assert 5 < vulnerable < 35
+
+
+class TestScoring:
+    def test_perfect_detector_scores_one(self):
+        programs = generate_corpus(seed=7, count=20)
+        score = score_detector(programs, lambda src: analyze_source(src).flagged)
+        assert score.precision == 1.0
+        assert score.recall == 1.0
+
+    def test_always_flagging_has_low_precision(self):
+        programs = generate_corpus(seed=8, count=20)
+        score = score_detector(programs, lambda src: True)
+        assert score.recall == 1.0
+        assert score.precision < 1.0
+        assert score.false_positives > 0
+
+    def test_never_flagging_has_low_recall(self):
+        programs = generate_corpus(seed=9, count=20)
+        score = score_detector(programs, lambda src: False)
+        assert score.recall == 0.0
+        assert score.false_negatives > 0
+
+    def test_empty_batch_degenerate(self):
+        score = score_detector([], lambda src: True)
+        assert score.precision == 1.0 and score.recall == 1.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000), vulnerable=st.booleans())
+def test_property_detector_matches_ground_truth(seed, vulnerable):
+    """For any generated program, the detector's verdict equals the
+    generator's ground truth — the fuzz-grade version of E13."""
+    program = generate_program(random.Random(seed), vulnerable)
+    report = analyze_source(program.source)
+    assert report.flagged == program.vulnerable, program.source
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_property_generated_sizes_match_layout_engine(seed):
+    """The generator's size predictions agree with the real layout pass."""
+    from repro.analysis import SymbolTable
+
+    program = generate_program(random.Random(seed), vulnerable=True, shape="direct")
+    symbols = SymbolTable(parse(program.source))
+    assert symbols.sizeof_name("Small") == program.arena_size
+    assert symbols.sizeof_name("Big") == program.placed_size

@@ -1,0 +1,169 @@
+"""Tests for the boundary-tag heap allocator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ApiMisuseError, DoubleFree, InvalidFree, OutOfMemory
+from repro.memory import HEADER_SIZE, AddressSpace, HeapAllocator, SegmentKind
+
+
+@pytest.fixture
+def space():
+    return AddressSpace()
+
+
+@pytest.fixture
+def heap(space):
+    return HeapAllocator(space)
+
+
+class TestAllocate:
+    def test_returns_payload_inside_heap(self, space, heap):
+        address = heap.allocate(32)
+        segment = space.segment(SegmentKind.HEAP)
+        assert segment.contains(address, 32)
+
+    def test_payloads_are_8_aligned(self, heap):
+        for size in (1, 7, 13, 100):
+            assert heap.allocate(size) % 8 == 0
+
+    def test_sequential_allocations_do_not_overlap(self, heap):
+        a = heap.allocate(16)
+        b = heap.allocate(16)
+        assert abs(a - b) >= 16 + HEADER_SIZE
+
+    def test_adjacent_layout_header_between_payloads(self, heap):
+        # Listing 12 relies on a heap object's neighbour being reachable
+        # by a small overflow: payloads are separated by one header.
+        a = heap.allocate(16)
+        b = heap.allocate(16)
+        assert b == a + 16 + HEADER_SIZE
+
+    def test_zero_size_rejected(self, heap):
+        with pytest.raises(ApiMisuseError):
+            heap.allocate(0)
+
+    def test_exhaustion_raises_oom(self, heap):
+        with pytest.raises(OutOfMemory):
+            heap.allocate(10**9)
+
+    def test_many_small_until_oom(self, heap):
+        count = 0
+        with pytest.raises(OutOfMemory):
+            while True:
+                heap.allocate(4096)
+                count += 1
+        assert count > 10
+
+
+class TestFree:
+    def test_free_then_reuse(self, heap):
+        a = heap.allocate(64)
+        heap.free(a)
+        b = heap.allocate(64)
+        assert b == a  # first-fit reuses the freed block
+
+    def test_double_free_detected(self, heap):
+        a = heap.allocate(32)
+        heap.free(a)
+        with pytest.raises(DoubleFree):
+            heap.free(a)
+
+    def test_wild_free_detected(self, heap, space):
+        with pytest.raises(InvalidFree):
+            heap.free(space.segment(SegmentKind.HEAP).base + 1024)
+
+    def test_unmapped_free_detected(self, heap):
+        with pytest.raises(InvalidFree):
+            heap.free(0x1000)
+
+    def test_coalescing_restores_large_block(self, heap):
+        before = heap.largest_free_block()
+        blocks = [heap.allocate(1000) for _ in range(8)]
+        for block in blocks:
+            heap.free(block)
+        assert heap.largest_free_block() == before
+
+    def test_bytes_in_use_accounting(self, heap):
+        assert heap.bytes_in_use == 0
+        a = heap.allocate(100)
+        used = heap.bytes_in_use
+        assert used >= 100
+        heap.free(a)
+        assert heap.bytes_in_use == 0
+
+
+class TestCorruption:
+    def test_overflow_tramples_next_header(self, space, heap):
+        # Writing past one payload corrupts the next block's header,
+        # exactly what a placement-new heap overflow does.
+        a = heap.allocate(16)
+        heap.allocate(16)
+        assert not heap.is_corrupted()
+        space.write(a + 16, b"\xde\xad\xbe\xef" * 2)
+        assert heap.is_corrupted()
+
+    def test_free_of_corrupted_block_is_invalid(self, space, heap):
+        a = heap.allocate(16)
+        b = heap.allocate(16)
+        space.write(a + 16, b"\x00" * HEADER_SIZE)
+        with pytest.raises(InvalidFree):
+            heap.free(b)
+
+    def test_block_walk_stops_at_corruption(self, space, heap):
+        a = heap.allocate(16)
+        heap.allocate(16)
+        space.write(a + 16, b"\xff" * HEADER_SIZE)
+        infos = list(heap.blocks())
+        assert infos[-1].corrupted
+
+
+class TestCounters:
+    def test_allocation_and_free_counts(self, heap):
+        a = heap.allocate(8)
+        b = heap.allocate(8)
+        heap.free(a)
+        assert heap.allocation_count == 2
+        assert heap.free_count == 1
+        assert len(heap.live_blocks()) == 1
+        assert heap.live_blocks()[0].payload_address == b
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(st.integers(min_value=1, max_value=2048), min_size=1, max_size=40)
+)
+def test_property_allocate_free_all_restores_heap(sizes):
+    """Allocating any mix then freeing everything restores one block."""
+    space = AddressSpace()
+    heap = HeapAllocator(space)
+    initial = heap.largest_free_block()
+    addresses = [heap.allocate(size) for size in sizes]
+    assert len(set(addresses)) == len(addresses)
+    for address in addresses:
+        heap.free(address)
+    assert heap.largest_free_block() == initial
+    assert heap.bytes_in_use == 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(st.integers(min_value=1, max_value=512), min_size=2, max_size=30),
+    st.randoms(),
+)
+def test_property_interleaved_blocks_never_overlap(sizes, rng):
+    """Live payload ranges stay pairwise disjoint under any free order."""
+    space = AddressSpace()
+    heap = HeapAllocator(space)
+    live: dict[int, int] = {}
+    for index, size in enumerate(sizes):
+        address = heap.allocate(size)
+        live[address] = size
+        if index % 3 == 2 and live:
+            victim = rng.choice(sorted(live))
+            heap.free(victim)
+            del live[victim]
+        ranges = sorted((addr, addr + sz) for addr, sz in live.items())
+        for (s1, e1), (s2, e2) in zip(ranges, ranges[1:]):
+            assert e1 <= s2
