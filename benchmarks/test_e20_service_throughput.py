@@ -1,0 +1,130 @@
+"""E20 — service-layer throughput: parallel sweeps and cache economics.
+
+The claims behind docs/SERVICE.md: (1) a corpus sweep submitted through
+the scheduler returns findings *identical* to the sequential
+``analyze_source`` loop; (2) a warm second sweep is served almost
+entirely from the result cache (>90% hit rate) and is much cheaper than
+recomputing; (3) with enough cores, ≥4 process workers beat the
+sequential loop on wall-clock.  Speedup numbers are always recorded in
+the printed table; the strict speedup assertion only applies where the
+host actually has ≥4 cores (CI runners), since a single-core box cannot
+parallelize CPU-bound analysis no matter the architecture.
+"""
+
+import os
+import time
+
+from conftest import print_table
+
+from repro.analysis import analyze_source
+from repro.service import ServiceEngine
+from repro.service.workers import report_payload
+from repro.workloads import corpus_sources
+
+#: Paper corpus + reproducible generated programs = the sweep workload.
+GENERATED = 120
+WORKERS = 4
+
+_CORES = os.cpu_count() or 1
+_BACKEND = "process" if _CORES >= WORKERS else "thread"
+
+
+def _workload():
+    return corpus_sources(generated=GENERATED)
+
+
+def test_e20_parallel_sweep_speedup_and_hit_rate():
+    sources = _workload()
+
+    started = time.perf_counter()
+    sequential = [
+        report_payload(analyze_source(source), label=label)
+        for label, source in sources
+    ]
+    sequential_s = time.perf_counter() - started
+
+    with ServiceEngine(workers=WORKERS, backend=_BACKEND) as engine:
+        started = time.perf_counter()
+        cold = engine.sweep(sources)
+        cold_s = time.perf_counter() - started
+
+        started = time.perf_counter()
+        warm = engine.sweep(sources)
+        warm_s = time.perf_counter() - started
+        stats = engine.cache.stats()
+
+    print_table(
+        f"E20 corpus sweep ({len(sources)} programs, "
+        f"{WORKERS} {_BACKEND} workers, {_CORES} cores)",
+        ["path", "seconds", "speedup vs sequential"],
+        [
+            ["sequential analyze_source", f"{sequential_s:.4f}", "1.00x"],
+            [
+                "scheduler, cold cache",
+                f"{cold_s:.4f}",
+                f"{sequential_s / cold_s:.2f}x",
+            ],
+            [
+                "scheduler, warm cache",
+                f"{warm_s:.4f}",
+                f"{sequential_s / warm_s:.2f}x",
+            ],
+        ],
+    )
+    print(
+        f"cache: {stats['hits']} hits / {stats['misses']} misses "
+        f"(hit rate {stats['hit_rate']:.2%}), {stats['stores']} stores"
+    )
+
+    # (1) findings identical to the sequential path, both runs
+    assert cold == sequential
+    assert warm == sequential
+    # (2) the warm sweep is >90% cache hits and cheaper than recomputing
+    warm_hit_rate = stats["hits"] / len(sources)
+    assert warm_hit_rate > 0.90
+    assert stats["stores"] == len(sources)  # nothing recomputed when warm
+    assert warm_s < sequential_s
+    # (3) real parallel speedup wherever the host can express it
+    if _CORES >= WORKERS:
+        assert cold_s < sequential_s, (
+            f"expected ≥4-worker sweep ({cold_s:.3f}s) to beat "
+            f"sequential ({sequential_s:.3f}s) on {_CORES} cores"
+        )
+
+
+def test_e20_parallel_matrix_throughput():
+    from repro.service.workers import run_matrix
+
+    started = time.perf_counter()
+    sequential = run_matrix({})
+    sequential_s = time.perf_counter() - started
+
+    with ServiceEngine(workers=WORKERS, backend=_BACKEND) as engine:
+        started = time.perf_counter()
+        parallel = engine.matrix(parallel=True)
+        parallel_s = time.perf_counter() - started
+
+    print_table(
+        f"E20 attack × defense matrix ({len(sequential['cells'])} cells)",
+        ["path", "seconds", "speedup"],
+        [
+            ["sequential evaluate_matrix", f"{sequential_s:.4f}", "1.00x"],
+            [
+                f"{WORKERS} {_BACKEND} workers",
+                f"{parallel_s:.4f}",
+                f"{sequential_s / parallel_s:.2f}x",
+            ],
+        ],
+    )
+    assert parallel["attacks_succeeding"] == sequential["attacks_succeeding"]
+    if _CORES >= WORKERS:
+        assert parallel_s < sequential_s
+
+
+def test_e20_cache_hit_latency(benchmark):
+    """Latency of a fully-warm analysis request (pure cache-hit path)."""
+    label, source = _workload()[0]
+    with ServiceEngine(workers=2) as engine:
+        engine.analyze(source, label=label)  # prime
+        benchmark(engine.analyze, source, label)
+        assert engine.cache.hit_rate > 0.90

@@ -9,7 +9,7 @@ documents.
 
 from .ast_nodes import Program
 from .cfg import BasicBlock, ControlFlowGraph, build_cfg, placement_sites
-from .detector import PlacementNewDetector, analyze_source
+from .detector import DETECTOR_VERSION, PlacementNewDetector, analyze_source
 from .legacy_tools import (
     CLASSIC_RULES,
     LegacyRule,
@@ -26,6 +26,7 @@ __all__ = [
     "AnalysisReport",
     "BasicBlock",
     "CLASSIC_RULES",
+    "DETECTOR_VERSION",
     "ControlFlowGraph",
     "Finding",
     "LegacyRule",

@@ -40,6 +40,11 @@ from .parser import parse
 from .reports import AnalysisReport, Finding, Severity
 from .symbols import SymbolTable, constant_int
 
+#: Revision of the detector's rule set and dataflow semantics.  Bump on
+#: any change that can alter findings — the service result cache keys on
+#: it, so stale cached analyses are invalidated automatically.
+DETECTOR_VERSION = "1"
+
 #: Calls treated as output sinks (exfiltration points for leak residue).
 SINK_CALLS = {"store", "send", "printf", "write", "log", "serialize", "transmit"}
 #: Calls that sanitize their first argument.

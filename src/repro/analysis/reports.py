@@ -61,17 +61,23 @@ class AnalysisReport:
         """True when anything warning-or-worse was found."""
         return bool(self.at_least(Severity.WARNING))
 
+    @staticmethod
+    def _order(finding: Finding) -> tuple:
+        """Total order over findings so every rendering is deterministic."""
+        return (finding.line, finding.rule, finding.function, finding.message)
+
     def render(self) -> str:
         """Multi-line report, sorted by location."""
         if not self.findings:
             return f"{self.tool}: no findings"
         lines = [f"{self.tool}: {len(self.findings)} finding(s)"]
-        for finding in sorted(self.findings, key=lambda f: (f.line, f.rule)):
+        for finding in sorted(self.findings, key=self._order):
             lines.append("  " + finding.render())
         return "\n".join(lines)
 
     def to_json(self) -> str:
-        """Machine-readable output for CI/SARIF-style integration."""
+        """Machine-readable output for CI/SARIF-style integration: keys
+        sorted, findings in a stable total order."""
         import json
 
         return json.dumps(
@@ -85,12 +91,11 @@ class AnalysisReport:
                         "line": finding.line,
                         "function": finding.function,
                     }
-                    for finding in sorted(
-                        self.findings, key=lambda f: (f.line, f.rule)
-                    )
+                    for finding in sorted(self.findings, key=self._order)
                 ],
             },
             indent=2,
+            sort_keys=True,
         )
 
 

@@ -23,6 +23,7 @@ from .base import (
     AttackScenario,
     Environment,
     classify_failure,
+    environment_by_label,
     environment_with,
 )
 from .data_bss import DataBssOverflowAttack
@@ -140,6 +141,7 @@ __all__ = [
     "all_attacks",
     "attack_by_name",
     "classify_failure",
+    "environment_by_label",
     "environment_with",
     "naive_smash",
     "selective_overwrite",

@@ -178,6 +178,15 @@ ALL_ENVIRONMENTS = (
 )
 
 
+def environment_by_label(label: str) -> Environment:
+    """Look an environment up by its ``label`` attribute."""
+    for env in ALL_ENVIRONMENTS:
+        if env.label == label:
+            return env
+    choices = ", ".join(env.label for env in ALL_ENVIRONMENTS)
+    raise KeyError(f"no environment labelled '{label}' (choose from: {choices})")
+
+
 def environment_with(base: Environment, **overrides: Any) -> Environment:
     """Derive a variant environment (dataclasses.replace wrapper)."""
     return replace(base, **overrides)

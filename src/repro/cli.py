@@ -14,6 +14,15 @@
     Execute a MiniC++ source file on the simulated machine: choose the
     entry function, scripted stdin, and hardening flags, then watch the
     placement log, events, and frame exit.
+
+``repro-serve``
+    Run the JSON API service: a worker pool and result cache behind
+    ``/analyze``, ``/attacks``, ``/matrix``, ``/exec``, ``/metrics``,
+    and ``/healthz`` (see docs/SERVICE.md).
+
+All four front ends exit with status 2 on bad input (missing files,
+unknown attack/environment names, malformed arguments), so scripts and
+service workers can tell usage errors from real findings.
 """
 
 from __future__ import annotations
@@ -27,13 +36,21 @@ from .attacks import ALL_ENVIRONMENTS, all_attacks, attack_by_name
 from .defenses import ALL_DEFENSES, evaluate_matrix
 from .workloads.corpus import FULL_CORPUS
 
+#: Exit status for bad input, shared by every front end.
+EX_USAGE = 2
+
+
+def _fail(message: str) -> int:
+    print(f"error: {message}", file=sys.stderr)
+    return EX_USAGE
+
 
 def _environment_by_label(label: str):
     for env in ALL_ENVIRONMENTS:
         if env.label == label:
             return env
     choices = ", ".join(env.label for env in ALL_ENVIRONMENTS)
-    raise SystemExit(f"unknown environment '{label}' (choose from: {choices})")
+    raise LookupError(f"unknown environment '{label}' (choose from: {choices})")
 
 
 def attacks_main(argv: Optional[Sequence[str]] = None) -> int:
@@ -78,10 +95,13 @@ def attacks_main(argv: Optional[Sequence[str]] = None) -> int:
         print(matrix.render(column_width=24))
         return 0
 
-    environment = _environment_by_label(args.env)
-    scenarios = (
-        [attack_by_name(args.attack)] if args.attack else all_attacks()
-    )
+    try:
+        environment = _environment_by_label(args.env)
+        scenarios = (
+            [attack_by_name(args.attack)] if args.attack else all_attacks()
+        )
+    except LookupError as error:  # KeyError's str() adds quotes; unwrap
+        return _fail(error.args[0] if error.args else str(error))
     exit_code = 0
     for scenario in scenarios:
         result = scenario.run(environment)
@@ -113,19 +133,43 @@ def analyze_main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="emit findings as JSON instead of text",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="analyze with N parallel workers through the job scheduler "
+        "(default: 1, the classic sequential path)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        help="persist scheduler results on disk so repeat sweeps are warm "
+        "(only meaningful with --jobs)",
+    )
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        return _fail("--jobs must be >= 1")
 
     sources: list[tuple[str, str]] = []
     if args.files:
         for path in args.files:
-            with open(path) as handle:
-                sources.append((path, handle.read()))
+            try:
+                with open(path) as handle:
+                    sources.append((path, handle.read()))
+            except OSError as error:
+                return _fail(f"cannot read {path}: {error.strerror or error}")
     else:
         sources = [(prog.key, prog.source) for prog in FULL_CORPUS]
 
+    if args.jobs > 1:
+        reports = _parallel_reports(sources, args)
+    else:
+        reports = [
+            (name, analyze_source(source), source) for name, source in sources
+        ]
+
     any_flagged = False
-    for name, source in sources:
-        report = analyze_source(source)
+    for name, report, source in reports:
         any_flagged = any_flagged or report.flagged
         if args.json:
             print(report.to_json())
@@ -137,6 +181,19 @@ def analyze_main(argv: Optional[Sequence[str]] = None) -> int:
                 print(tool.scan_source(source).render())
         print()
     return 1 if any_flagged and args.files else 0
+
+
+def _parallel_reports(sources, args):
+    """The batch path: sweep through the service scheduler with caching."""
+    from .service import ServiceEngine
+    from .service.workers import report_from_payload
+
+    with ServiceEngine(workers=args.jobs, cache_dir=args.cache_dir) as engine:
+        payloads = engine.sweep(sources)
+    return [
+        (name, report_from_payload(payload), source)
+        for (name, source), payload in zip(sources, payloads)
+    ]
 
 
 def exec_main(argv: Optional[Sequence[str]] = None) -> int:
@@ -165,25 +222,31 @@ def exec_main(argv: Optional[Sequence[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    with open(args.file) as handle:
-        source = handle.read()
+    try:
+        with open(args.file) as handle:
+            source = handle.read()
+    except OSError as error:
+        return _fail(f"cannot read {args.file}: {error.strerror or error}")
     machine = Machine(
         MachineConfig(
             canary_policy=CanaryPolicy.RANDOM if args.canary else CanaryPolicy.NONE
         )
     )
     entry_args: tuple = ()
-    if args.args:
-        entry_args = tuple(int(token, 0) for token in args.args.split(","))
-    elif args.entry == "main":
-        entry_args = (0, 0)
-    stdin_tokens: tuple = ()
-    if args.stdin:
-        stdin_tokens = tuple(
-            int(token, 0) if not token.lstrip("-").replace(".", "").isalpha()
-            else token
-            for token in args.stdin.split(",")
-        )
+    try:
+        if args.args:
+            entry_args = tuple(int(token, 0) for token in args.args.split(","))
+        elif args.entry == "main":
+            entry_args = (0, 0)
+        stdin_tokens: tuple = ()
+        if args.stdin:
+            stdin_tokens = tuple(
+                int(token, 0) if not token.lstrip("-").replace(".", "").isalpha()
+                else token
+                for token in args.stdin.split(",")
+            )
+    except ValueError as error:
+        return _fail(f"bad integer argument: {error}")
     try:
         interpreter, outcome = run_source(
             source,
@@ -213,6 +276,69 @@ def exec_main(argv: Optional[Sequence[str]] = None) -> int:
         )
     for event in machine.events:
         print("event:", event)
+    return 0
+
+
+def serve_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``repro-serve``."""
+    from .service import ServiceEngine, create_server
+
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Serve the analysis/attack job engine over a JSON API",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=8071, help="bind port (0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4, help="worker pool size (default: 4)"
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("thread", "process"),
+        default="thread",
+        help="worker pool backend (processes buy CPU parallelism)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=".repro-cache",
+        help="on-disk result cache directory (default: .repro-cache)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the result cache entirely",
+    )
+    args = parser.parse_args(argv)
+    if args.workers < 1:
+        return _fail("--workers must be >= 1")
+
+    engine = ServiceEngine(
+        workers=args.workers,
+        backend=args.backend,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        use_cache=not args.no_cache,
+    )
+    try:
+        server = create_server(engine, host=args.host, port=args.port)
+    except OSError as error:
+        engine.close()
+        return _fail(f"cannot bind {args.host}:{args.port}: {error}")
+    host, port = server.server_address[:2]
+    print(
+        f"repro-serve listening on http://{host}:{port} "
+        f"({args.workers} {args.backend} workers, cache "
+        f"{'off' if args.no_cache else args.cache_dir})"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        print("draining...")
+    finally:
+        server.shutdown()
+        server.server_close()
+        engine.close()
     return 0
 
 

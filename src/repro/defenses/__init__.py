@@ -13,6 +13,7 @@ from .base import (
     Defense,
     EvaluationMatrix,
     MatrixCell,
+    defense_by_name,
     evaluate_matrix,
 )
 from .aslr import StaleAddressAttack, aslr_machine, run_aslr_comparison
@@ -44,6 +45,7 @@ __all__ = [
     "run_aslr_comparison",
     "VtableIntegrityGuard",
     "VtableIntegrityViolation",
+    "defense_by_name",
     "evaluate_matrix",
     "run_leak_comparison",
 ]

@@ -114,6 +114,15 @@ ALL_DEFENSES: tuple[Defense, ...] = (
 )
 
 
+def defense_by_name(name: str) -> Defense:
+    """Look a defense up by its ``name`` attribute."""
+    for defense in ALL_DEFENSES:
+        if defense.name == name:
+            return defense
+    choices = ", ".join(defense.name for defense in ALL_DEFENSES)
+    raise KeyError(f"no defense named '{name}' (choose from: {choices})")
+
+
 @dataclass
 class MatrixCell:
     """One (attack, defense) outcome."""

@@ -1,0 +1,76 @@
+"""The service layer: concurrent, cached analysis/attack job execution.
+
+The repo's first concurrency, caching, and networking subsystem.  Jobs
+(:mod:`jobs`) are content-addressed work specs; the scheduler
+(:mod:`scheduler`) runs them on a worker pool (:mod:`workers`) behind a
+result cache (:mod:`cache`) with full metrics accounting
+(:mod:`metrics`); :mod:`server`/:mod:`client` expose everything over a
+stdlib JSON API, and :class:`~repro.service.engine.ServiceEngine` ties
+the lifecycle together.  See ``docs/SERVICE.md``.
+"""
+
+from .cache import ResultCache, default_cache_version
+from .client import ServiceClient, ServiceError
+from .engine import ServiceEngine
+from .jobs import (
+    HIGH_PRIORITY,
+    LOW_PRIORITY,
+    NORMAL_PRIORITY,
+    AnalyzeJob,
+    AttackJob,
+    ExecJob,
+    Job,
+    MatrixJob,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .scheduler import (
+    JobFailed,
+    JobHandle,
+    JobOutcome,
+    JobStatus,
+    QueueFull,
+    Scheduler,
+)
+from .server import ServiceHTTPServer, create_server
+from .workers import (
+    TransientWorkerError,
+    WorkerPool,
+    execute_job,
+    register_worker,
+    report_from_payload,
+    report_payload,
+)
+
+__all__ = [
+    "AnalyzeJob",
+    "AttackJob",
+    "Counter",
+    "ExecJob",
+    "Gauge",
+    "HIGH_PRIORITY",
+    "Histogram",
+    "Job",
+    "JobFailed",
+    "JobHandle",
+    "JobOutcome",
+    "JobStatus",
+    "LOW_PRIORITY",
+    "MatrixJob",
+    "MetricsRegistry",
+    "NORMAL_PRIORITY",
+    "QueueFull",
+    "ResultCache",
+    "Scheduler",
+    "ServiceClient",
+    "ServiceEngine",
+    "ServiceError",
+    "ServiceHTTPServer",
+    "TransientWorkerError",
+    "WorkerPool",
+    "create_server",
+    "default_cache_version",
+    "execute_job",
+    "register_worker",
+    "report_from_payload",
+    "report_payload",
+]

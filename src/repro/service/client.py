@@ -1,0 +1,101 @@
+"""A small stdlib client for the ``repro-serve`` JSON API."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Optional, Sequence
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServiceClient:
+    """Typed wrappers over the service endpoints."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(self, method: str, path: str, body: Optional[dict] = None) -> dict:
+        data = json.dumps(body).encode() if body is not None else None
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as error:
+            try:
+                message = json.loads(error.read()).get("error", error.reason)
+            except ValueError:
+                message = str(error.reason)
+            raise ServiceError(error.code, message) from None
+
+    # -- endpoints ---------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/metrics")
+
+    def analyze(
+        self,
+        source: Optional[str] = None,
+        label: str = "",
+        legacy: bool = False,
+        corpus: bool = False,
+    ) -> dict:
+        body: dict = {"legacy": legacy}
+        if corpus:
+            body["corpus"] = True
+        else:
+            body["source"] = source
+            body["label"] = label
+        return self._request("POST", "/analyze", body)
+
+    def attacks(self, attack: Optional[str] = None, env: str = "unprotected") -> dict:
+        body: dict = {"env": env}
+        if attack:
+            body["attack"] = attack
+        return self._request("POST", "/attacks", body)
+
+    def matrix(
+        self, attacks: Sequence[str] = (), defenses: Sequence[str] = ()
+    ) -> dict:
+        return self._request(
+            "POST",
+            "/matrix",
+            {"attacks": list(attacks), "defenses": list(defenses)},
+        )
+
+    def execute(
+        self,
+        source: str,
+        entry: str = "main",
+        args: Sequence = (),
+        stdin: Sequence = (),
+        canary: bool = False,
+    ) -> dict:
+        return self._request(
+            "POST",
+            "/exec",
+            {
+                "source": source,
+                "entry": entry,
+                "args": list(args),
+                "stdin": list(stdin),
+                "canary": canary,
+            },
+        )

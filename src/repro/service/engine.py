@@ -1,0 +1,237 @@
+"""The service engine: one object wiring cache, pool, scheduler, metrics.
+
+``ServiceEngine`` is the programmatic front door used by the HTTP
+server, the CLI batch paths, and the benchmarks.  It owns the component
+lifecycles (use it as a context manager) and exposes the high-level
+operations — single analyses, parallel corpus sweeps, attack runs, the
+E14 matrix — as blocking calls that internally fan out through the
+scheduler.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..attacks import all_attacks, attack_by_name
+from ..defenses import ALL_DEFENSES, defense_by_name
+from ..workloads.corpus import corpus_sources
+from .cache import ResultCache
+from .jobs import (
+    HIGH_PRIORITY,
+    LOW_PRIORITY,
+    NORMAL_PRIORITY,
+    AnalyzeJob,
+    AttackJob,
+    ExecJob,
+    MatrixJob,
+)
+from .metrics import MetricsRegistry
+from .scheduler import Scheduler
+from .workers import WorkerPool, cell_summary
+
+
+class ServiceEngine:
+    """Configured job engine with a blocking convenience API."""
+
+    def __init__(
+        self,
+        workers: int = 4,
+        backend: str = "thread",
+        cache_dir: Optional[str] = None,
+        use_cache: bool = True,
+        cache_version: Optional[str] = None,
+        max_queue: int = 1024,
+        default_timeout: float = 60.0,
+        max_retries: int = 2,
+    ):
+        self.metrics = MetricsRegistry()
+        self.cache = (
+            ResultCache(directory=cache_dir, version=cache_version)
+            if use_cache
+            else None
+        )
+        self.pool = WorkerPool(max_workers=workers, backend=backend)
+        self.scheduler = Scheduler(
+            pool=self.pool,
+            cache=self.cache,
+            metrics=self.metrics,
+            max_queue=max_queue,
+            default_timeout=default_timeout,
+            max_retries=max_retries,
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self, wait: bool = True) -> None:
+        self.scheduler.shutdown(wait=wait)
+        self.pool.shutdown()
+
+    def __enter__(self) -> "ServiceEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- analysis ----------------------------------------------------------
+
+    def analyze(
+        self,
+        source: str,
+        label: str = "",
+        legacy: bool = False,
+        priority: int = HIGH_PRIORITY,
+    ) -> dict:
+        """Analyze one source, served from cache when warm."""
+        return self.scheduler.run(
+            AnalyzeJob(source=source, label=label, legacy=legacy),
+            priority=priority,
+        )
+
+    def sweep(
+        self,
+        sources: Iterable[Tuple[str, str]],
+        legacy: bool = False,
+        priority: int = LOW_PRIORITY,
+    ) -> List[dict]:
+        """Analyze ``(label, source)`` pairs in parallel, preserving order."""
+        handles = self.scheduler.map(
+            [
+                AnalyzeJob(source=source, label=label, legacy=legacy)
+                for label, source in sources
+            ],
+            priority=priority,
+        )
+        return [handle.result() for handle in handles]
+
+    def corpus_sweep(self, legacy: bool = False) -> List[dict]:
+        """Analyze the built-in paper corpus in parallel."""
+        return self.sweep(corpus_sources(), legacy=legacy)
+
+    # -- attacks -----------------------------------------------------------
+
+    def attack(
+        self,
+        name: str,
+        env: str = "unprotected",
+        priority: int = HIGH_PRIORITY,
+    ) -> dict:
+        """Run one attack under one environment."""
+        return self.scheduler.run(AttackJob(attack=name, env=env), priority=priority)
+
+    def gallery(self, env: str = "unprotected") -> List[dict]:
+        """Run the whole attack gallery in parallel under one environment."""
+        handles = self.scheduler.map(
+            [
+                AttackJob(attack=scenario.name, env=env)
+                for scenario in all_attacks()
+            ]
+        )
+        return [handle.result() for handle in handles]
+
+    def matrix(
+        self,
+        attacks: Sequence[str] = (),
+        defenses: Sequence[str] = (),
+        parallel: bool = True,
+    ) -> dict:
+        """The E14 attack × defense matrix as a dict.
+
+        ``parallel=True`` decomposes the matrix into one
+        :class:`AttackJob` per cell so independent cells run (and cache)
+        concurrently; ``parallel=False`` runs the classic sequential
+        :func:`repro.defenses.evaluate_matrix` inside a single worker.
+        """
+        for name in attacks:  # reject unknown names up front, not per-cell
+            attack_by_name(name)
+        for name in defenses:
+            defense_by_name(name)
+        if not parallel:
+            return self.scheduler.run(
+                MatrixJob(attacks=tuple(attacks), defenses=tuple(defenses))
+            )
+        attack_names = list(attacks) or [s.name for s in all_attacks()]
+        chosen = (
+            [d for d in ALL_DEFENSES if d.name in set(defenses)]
+            if defenses
+            else list(ALL_DEFENSES)
+        )
+        handles = [
+            (
+                attack_name,
+                defense.name,
+                self.scheduler.submit(
+                    AttackJob(attack=attack_name, env=defense.environment.label),
+                    priority=NORMAL_PRIORITY,
+                ),
+            )
+            for attack_name in attack_names
+            for defense in chosen
+        ]
+        cells = []
+        wins: dict = {defense.name: 0 for defense in chosen}
+        for attack_name, defense_name, handle in handles:
+            result = handle.result()
+            cells.append(
+                {
+                    "attack": attack_name,
+                    "defense": defense_name,
+                    "summary": cell_summary(
+                        result["succeeded"],
+                        result["detected_by"],
+                        result["crashed"],
+                    ),
+                    "succeeded": result["succeeded"],
+                    "detected_by": result["detected_by"],
+                    "crashed": result["crashed"],
+                }
+            )
+            if result["succeeded"]:
+                wins[defense_name] += 1
+        return {
+            "defenses": [defense.name for defense in chosen],
+            "cells": cells,
+            "attacks_succeeding": wins,
+        }
+
+    # -- execution ---------------------------------------------------------
+
+    def execute(
+        self,
+        source: str,
+        entry: str = "main",
+        args: Sequence = (),
+        stdin: Sequence = (),
+        canary: bool = False,
+    ) -> dict:
+        """Run MiniC++ source on a fresh simulated machine."""
+        return self.scheduler.run(
+            ExecJob(
+                source=source,
+                entry=entry,
+                args=tuple(args),
+                stdin=tuple(stdin),
+                canary=canary,
+            ),
+            priority=HIGH_PRIORITY,
+        )
+
+    # -- introspection -----------------------------------------------------
+
+    def metrics_snapshot(self) -> dict:
+        """Scheduler + cache + pool state for the ``/metrics`` endpoint."""
+        snapshot = self.metrics.snapshot()
+        snapshot["cache"] = self.cache.stats() if self.cache else {"enabled": False}
+        snapshot["pool"] = {"backend": self.pool.backend, "workers": self.pool.size}
+        return snapshot
+
+    def health(self) -> dict:
+        """Liveness payload for ``/healthz``."""
+        from .. import __version__
+
+        return {
+            "status": "ok",
+            "version": __version__,
+            "workers": self.pool.size,
+            "backend": self.pool.backend,
+            "cache": self.cache is not None,
+        }

@@ -1,0 +1,101 @@
+"""Typed job specifications for the service layer.
+
+A job is a frozen, content-addressed description of one unit of work:
+analyzing a source file, running an attack under a defense environment,
+evaluating the attack × defense matrix, or executing a program on the
+simulated machine.  Two jobs with the same payload have the same
+:meth:`Job.key`, which is what the result cache and the scheduler's
+deduplication key on — the hash covers the job kind plus every payload
+field, canonically JSON-encoded, so it is stable across processes and
+interpreter runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+
+#: Default scheduler priority (lower numbers run first).
+NORMAL_PRIORITY = 10
+#: Priority for latency-sensitive work (interactive API requests).
+HIGH_PRIORITY = 1
+#: Priority for bulk background sweeps.
+LOW_PRIORITY = 100
+
+
+def canonical_json(payload: dict) -> str:
+    """Deterministic encoding used for job keys and cache files."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class Job:
+    """Base class: a hashable, cacheable unit of service work."""
+
+    #: Worker-registry key (see :mod:`repro.service.workers`).
+    KIND = "job"
+    #: Whether results may be served from the result cache.  Jobs whose
+    #: outcome depends on randomized machine state (ASLR, random
+    #: canaries) should disable this.
+    CACHEABLE = True
+
+    def payload(self) -> dict:
+        """The JSON-able argument dict handed to the worker function."""
+        return asdict(self)
+
+    def key(self) -> str:
+        """Deterministic content-hash identity for cache/dedup lookups."""
+        digest = hashlib.sha256(
+            (self.KIND + "\n" + canonical_json(self.payload())).encode()
+        ).hexdigest()
+        return f"{self.KIND}-{digest[:20]}"
+
+
+@dataclass(frozen=True)
+class AnalyzeJob(Job):
+    """Run the placement-new detector over one MiniC++ source."""
+
+    source: str
+    label: str = ""
+    legacy: bool = False
+
+    KIND = "analyze"
+
+
+@dataclass(frozen=True)
+class AttackJob(Job):
+    """Run one gallery attack under one defense environment."""
+
+    attack: str
+    env: str = "unprotected"
+
+    KIND = "attack"
+
+
+@dataclass(frozen=True)
+class MatrixJob(Job):
+    """Evaluate the E14 attack × defense matrix (or a sub-matrix)."""
+
+    attacks: tuple = ()  # attack names; empty = the whole gallery
+    defenses: tuple = ()  # defense names; empty = ALL_DEFENSES
+
+    KIND = "matrix"
+
+
+@dataclass(frozen=True)
+class ExecJob(Job):
+    """Execute MiniC++ source on a fresh simulated machine.
+
+    Not cacheable: random canaries and accumulated machine entropy make
+    repeated executions legitimately observable as distinct runs.
+    """
+
+    source: str
+    entry: str = "main"
+    args: tuple = ()
+    stdin: tuple = ()
+    canary: bool = False
+
+    KIND = "exec"
+    CACHEABLE = False

@@ -1,0 +1,118 @@
+"""Service metrics: counters, gauges, and histograms with a JSON snapshot.
+
+A deliberately small, stdlib-only metrics surface in the shape of the
+usual exporters: monotonically increasing counters, last-value gauges,
+and summary histograms (count/total/min/max/mean).  Everything is
+thread-safe and renders to a deterministic, sorted JSON document served
+by the ``/metrics`` endpoint.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Optional
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self.value += amount
+
+
+class Gauge:
+    """A value that can move both ways (queue depth, workers busy)."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = value
+
+    def add(self, delta: float) -> None:
+        with self._lock:
+            self.value += delta
+
+
+class Histogram:
+    """Summary statistics over observed values (latencies, sizes)."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.vmin: Optional[float] = None
+        self.vmax: Optional[float] = None
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self.count += 1
+            self.total += value
+            self.vmin = value if self.vmin is None else min(self.vmin, value)
+            self.vmax = value if self.vmax is None else max(self.vmax, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict:
+        with self._lock:
+            return {
+                "count": self.count,
+                "total": round(self.total, 6),
+                "mean": round(self.mean, 6),
+                "min": round(self.vmin, 6) if self.vmin is not None else None,
+                "max": round(self.vmax, 6) if self.vmax is not None else None,
+            }
+
+
+class MetricsRegistry:
+    """Create-or-get metric instruments plus a snapshot of all of them."""
+
+    def __init__(self):
+        self._counters: dict = {}
+        self._gauges: dict = {}
+        self._histograms: dict = {}
+        self._lock = threading.Lock()
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            return self._counters.setdefault(name, Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            return self._gauges.setdefault(name, Gauge(name))
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            return self._histograms.setdefault(name, Histogram(name))
+
+    def snapshot(self) -> dict:
+        """All instruments, deterministically ordered."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {
+                name: counters[name].value for name in sorted(counters)
+            },
+            "gauges": {name: gauges[name].value for name in sorted(gauges)},
+            "histograms": {
+                name: histograms[name].summary() for name in sorted(histograms)
+            },
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.snapshot(), sort_keys=True, indent=2)

@@ -1,0 +1,372 @@
+"""The job scheduler: bounded priority queue + dispatch over a worker pool.
+
+Submission path::
+
+    handle = scheduler.submit(AnalyzeJob(source), priority=HIGH_PRIORITY)
+    result = handle.result(timeout=30)
+
+``submit`` first consults the result cache (same job key + same
+detector/config version → resolved immediately, no queueing).  Cache
+misses enter a bounded :class:`queue.PriorityQueue`; when the queue is
+full, ``submit`` raises :class:`QueueFull` instead of blocking — the
+caller (e.g. the HTTP front end) decides whether to shed load or wait.
+
+One dispatcher thread per pool worker pops jobs in priority order and
+executes them on the pool with a per-job timeout.  Failures raising
+:class:`~repro.service.workers.TransientWorkerError` are retried with
+exponential backoff; anything else fails the job immediately.  Timeouts
+are terminal: the job is marked ``TIMED_OUT`` and the dispatcher moves
+on (the abandoned worker finishes in the background — the usual
+cooperative-cancellation caveat for in-process pools).
+
+``shutdown(wait=True)`` drains the queue then stops the dispatchers;
+``wait=False`` cancels everything still queued.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import queue
+import threading
+import time
+from concurrent.futures import TimeoutError as FutureTimeout
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional
+
+from .cache import ResultCache
+from .jobs import NORMAL_PRIORITY, Job
+from .metrics import MetricsRegistry
+from .workers import TransientWorkerError, WorkerPool
+
+
+class QueueFull(RuntimeError):
+    """The bounded work queue rejected a submission."""
+
+
+class JobFailed(RuntimeError):
+    """Raised by :meth:`JobHandle.result` when the job did not succeed."""
+
+
+class JobStatus(enum.Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"
+    TIMED_OUT = "timed-out"
+    CANCELLED = "cancelled"
+
+
+@dataclass
+class JobOutcome:
+    """Everything the scheduler learned about one finished job."""
+
+    key: str
+    kind: str
+    status: JobStatus
+    result: Optional[dict] = None
+    error: Optional[str] = None
+    attempts: int = 0
+    duration: float = 0.0
+    from_cache: bool = False
+    detail: dict = field(default_factory=dict)
+
+
+class JobHandle:
+    """Future-like view of one submitted job."""
+
+    def __init__(self, job: Job):
+        self.job = job
+        self._event = threading.Event()
+        self._outcome: Optional[JobOutcome] = None
+
+    def _resolve(self, outcome: JobOutcome) -> None:
+        self._outcome = outcome
+        self._event.set()
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        return self._event.wait(timeout)
+
+    def outcome(self, timeout: Optional[float] = None) -> JobOutcome:
+        """Block until finished and return the full outcome record."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(f"job {self.job.key()} still pending")
+        assert self._outcome is not None
+        return self._outcome
+
+    def result(self, timeout: Optional[float] = None) -> dict:
+        """The worker's result dict, raising :class:`JobFailed` otherwise."""
+        outcome = self.outcome(timeout)
+        if outcome.status is not JobStatus.SUCCEEDED:
+            raise JobFailed(
+                f"job {outcome.key} {outcome.status.value}: {outcome.error}"
+            )
+        assert outcome.result is not None
+        return outcome.result
+
+
+_STOP = object()
+
+
+class Scheduler:
+    """Priority scheduling, caching, retries, and metrics for job runs."""
+
+    def __init__(
+        self,
+        pool: Optional[WorkerPool] = None,
+        cache: Optional[ResultCache] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        max_queue: int = 256,
+        default_timeout: float = 60.0,
+        max_retries: int = 2,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        self.pool = pool or WorkerPool()
+        self._owns_pool = pool is None
+        self.cache = cache
+        self.metrics = metrics or MetricsRegistry()
+        self.default_timeout = default_timeout
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self._sleep = sleep
+        self._queue: "queue.PriorityQueue" = queue.PriorityQueue(maxsize=max_queue)
+        self._seq = itertools.count()
+        self._stopping = False
+        self._lock = threading.Lock()
+        self._dispatchers = [
+            threading.Thread(
+                target=self._dispatch_loop,
+                name=f"repro-dispatch-{index}",
+                daemon=True,
+            )
+            for index in range(self.pool.size)
+        ]
+        for thread in self._dispatchers:
+            thread.start()
+
+    # -- submission --------------------------------------------------------
+
+    def submit(
+        self,
+        job: Job,
+        priority: int = NORMAL_PRIORITY,
+        timeout: Optional[float] = None,
+        max_retries: Optional[int] = None,
+        use_cache: bool = True,
+    ) -> JobHandle:
+        """Queue one job; returns immediately with a handle."""
+        if self._stopping:
+            raise RuntimeError("scheduler is shut down")
+        handle = JobHandle(job)
+        key = job.key()
+        self.metrics.counter("scheduler.jobs_submitted").inc()
+        if self.cache is not None and use_cache and job.CACHEABLE:
+            cached = self.cache.get(key)
+            if cached is not None:
+                self.metrics.counter("scheduler.cache_hits").inc()
+                handle._resolve(
+                    JobOutcome(
+                        key=key,
+                        kind=job.KIND,
+                        status=JobStatus.SUCCEEDED,
+                        result=cached,
+                        from_cache=True,
+                    )
+                )
+                return handle
+        item = (
+            priority,
+            next(self._seq),
+            job,
+            handle,
+            timeout if timeout is not None else self.default_timeout,
+            max_retries if max_retries is not None else self.max_retries,
+            use_cache,
+            time.monotonic(),
+        )
+        try:
+            self._queue.put_nowait(item)
+        except queue.Full:
+            raise QueueFull(
+                f"work queue at capacity ({self._queue.maxsize} jobs)"
+            ) from None
+        self.metrics.gauge("scheduler.queue_depth").set(self._queue.qsize())
+        return handle
+
+    def map(
+        self,
+        jobs: Iterable[Job],
+        priority: int = NORMAL_PRIORITY,
+        **submit_kwargs,
+    ) -> List[JobHandle]:
+        """Submit a batch, preserving order of the returned handles."""
+        return [self.submit(job, priority=priority, **submit_kwargs) for job in jobs]
+
+    def run(self, job: Job, **submit_kwargs) -> dict:
+        """Submit one job and block for its result."""
+        return self.submit(job, **submit_kwargs).result()
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item[2] is _STOP:
+                self._queue.task_done()
+                return
+            _, _, job, handle, timeout, retries, use_cache, enqueued = item
+            self.metrics.gauge("scheduler.queue_depth").set(self._queue.qsize())
+            self.metrics.histogram("scheduler.queue_wait_seconds").observe(
+                time.monotonic() - enqueued
+            )
+            if self._stopping and self._cancelled_on_shutdown(job, handle):
+                self._queue.task_done()
+                continue
+            try:
+                self._execute(job, handle, timeout, retries, use_cache)
+            finally:
+                self._queue.task_done()
+
+    def _cancelled_on_shutdown(self, job: Job, handle: JobHandle) -> bool:
+        self.metrics.counter("scheduler.jobs_cancelled").inc()
+        handle._resolve(
+            JobOutcome(
+                key=job.key(),
+                kind=job.KIND,
+                status=JobStatus.CANCELLED,
+                error="scheduler shut down before the job ran",
+            )
+        )
+        return True
+
+    def _execute(
+        self,
+        job: Job,
+        handle: JobHandle,
+        timeout: float,
+        retries: int,
+        use_cache: bool,
+    ) -> None:
+        key = job.key()
+        payload = job.payload()
+        started = time.monotonic()
+        busy = self.metrics.gauge("scheduler.workers_busy")
+        busy.add(1)
+        attempts = 0
+        try:
+            while True:
+                attempts += 1
+                future = self.pool.submit(job.KIND, payload)
+                try:
+                    result = future.result(timeout=timeout)
+                except FutureTimeout:
+                    future.cancel()
+                    self.metrics.counter("scheduler.jobs_timed_out").inc()
+                    handle._resolve(
+                        JobOutcome(
+                            key=key,
+                            kind=job.KIND,
+                            status=JobStatus.TIMED_OUT,
+                            error=f"no result within {timeout}s",
+                            attempts=attempts,
+                            duration=time.monotonic() - started,
+                        )
+                    )
+                    return
+                except TransientWorkerError as error:
+                    if attempts <= retries:
+                        self.metrics.counter("scheduler.jobs_retried").inc()
+                        self._sleep(
+                            min(
+                                self.backoff_base * (2 ** (attempts - 1)),
+                                self.backoff_cap,
+                            )
+                        )
+                        continue
+                    self._fail(handle, key, job, error, attempts, started)
+                    return
+                except Exception as error:  # worker bug or bad payload
+                    self._fail(handle, key, job, error, attempts, started)
+                    return
+                duration = time.monotonic() - started
+                self.metrics.counter("scheduler.jobs_succeeded").inc()
+                self.metrics.histogram("scheduler.job_seconds").observe(duration)
+                if self.cache is not None and use_cache and job.CACHEABLE:
+                    self.cache.put(key, result)
+                handle._resolve(
+                    JobOutcome(
+                        key=key,
+                        kind=job.KIND,
+                        status=JobStatus.SUCCEEDED,
+                        result=result,
+                        attempts=attempts,
+                        duration=duration,
+                    )
+                )
+                return
+        finally:
+            busy.add(-1)
+
+    def _fail(
+        self,
+        handle: JobHandle,
+        key: str,
+        job: Job,
+        error: Exception,
+        attempts: int,
+        started: float,
+    ) -> None:
+        self.metrics.counter("scheduler.jobs_failed").inc()
+        handle._resolve(
+            JobOutcome(
+                key=key,
+                kind=job.KIND,
+                status=JobStatus.FAILED,
+                error=f"{type(error).__name__}: {error}",
+                attempts=attempts,
+                duration=time.monotonic() - started,
+            )
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def drain(self) -> None:
+        """Block until every queued and in-flight job has resolved."""
+        self._queue.join()
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop dispatching.  ``wait=True`` drains first; ``wait=False``
+        cancels everything still queued."""
+        with self._lock:
+            if self._stopping:
+                return
+            if wait:
+                self.drain()
+            self._stopping = True
+        if not wait:
+            while True:
+                try:
+                    item = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if item[2] is not _STOP:
+                    self._cancelled_on_shutdown(item[2], item[3])
+                self._queue.task_done()
+        for _ in self._dispatchers:
+            self._queue.put((10 ** 9, next(self._seq), _STOP, None, 0, 0, False, 0.0))
+        for thread in self._dispatchers:
+            thread.join(timeout=5.0)
+        if self._owns_pool:
+            self.pool.shutdown()
+
+    def __enter__(self) -> "Scheduler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

@@ -1,0 +1,271 @@
+"""Worker functions and the executor pool that runs them.
+
+Each job kind maps to a module-level function taking the job's payload
+dict and returning a JSON-able result dict — module-level so the
+process backend can pickle references into child interpreters.  The
+dict-in/dict-out contract is what makes results cacheable on disk and
+transportable over the HTTP API without a second serialization layer.
+
+``WorkerPool`` wraps a :mod:`concurrent.futures` executor.  The thread
+backend is the default (cheap startup, shares the warm interpreter);
+the process backend buys real CPU parallelism for big sweeps on
+multi-core hosts.  Custom job kinds registered at runtime via
+:func:`register_worker` are visible to the thread backend only — child
+processes import this module fresh and see just the built-in registry.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Optional
+
+from ..analysis import AnalysisReport, Finding, Severity, analyze_source, simulated_tool_suite
+from ..attacks import all_attacks, attack_by_name, environment_by_label
+from ..attacks.base import AttackResult
+from ..defenses import ALL_DEFENSES, defense_by_name, evaluate_matrix
+from ..errors import SimulatedProcessError
+
+
+class TransientWorkerError(RuntimeError):
+    """A failure worth retrying (worker lost, resource contention)."""
+
+
+def _jsonify(value):
+    """Coerce arbitrary detail values into JSON-able shapes."""
+    if isinstance(value, dict):
+        return {str(key): _jsonify(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+# -- result serialization --------------------------------------------------
+
+
+def report_payload(report: AnalysisReport, label: str = "") -> dict:
+    """An :class:`AnalysisReport` as a deterministic dict."""
+    return {
+        "label": label,
+        "tool": report.tool,
+        "flagged": report.flagged,
+        "findings": [
+            {
+                "rule": finding.rule,
+                "severity": finding.severity.label(),
+                "message": finding.message,
+                "line": finding.line,
+                "function": finding.function,
+            }
+            for finding in sorted(
+                report.findings,
+                key=lambda f: (f.line, f.rule, f.function, f.message),
+            )
+        ],
+    }
+
+
+def report_from_payload(payload: dict) -> AnalysisReport:
+    """Rebuild a report object so CLI rendering matches the direct path."""
+    report = AnalysisReport(tool=payload["tool"])
+    for entry in payload["findings"]:
+        report.add(
+            Finding(
+                rule=entry["rule"],
+                severity=Severity[entry["severity"].upper()],
+                message=entry["message"],
+                line=entry["line"],
+                function=entry["function"],
+                tool=payload["tool"],
+            )
+        )
+    return report
+
+
+def attack_payload(result: AttackResult) -> dict:
+    """An :class:`AttackResult` as a JSON-able dict."""
+    return {
+        "name": result.name,
+        "paper_ref": result.paper_ref,
+        "environment": result.environment,
+        "succeeded": result.succeeded,
+        "detected_by": result.detected_by,
+        "crashed": result.crashed,
+        "detail": _jsonify(result.detail),
+        "events": [str(event) for event in result.events],
+        "summary": cell_summary(
+            result.succeeded, result.detected_by, result.crashed
+        ),
+    }
+
+
+def cell_summary(succeeded: bool, detected_by: Optional[str], crashed: bool) -> str:
+    """The compact matrix-cell text (mirrors ``MatrixCell.summary``)."""
+    if succeeded:
+        return "ATTACK-WINS"
+    if detected_by:
+        return f"detected({detected_by})"
+    if crashed:
+        return "crashed"
+    return "prevented"
+
+
+# -- worker functions ------------------------------------------------------
+
+
+def run_analyze(payload: dict) -> dict:
+    """Worker for :class:`AnalyzeJob`."""
+    report = analyze_source(payload["source"])
+    result = report_payload(report, label=payload.get("label", ""))
+    if payload.get("legacy"):
+        result["legacy"] = [
+            report_payload(tool.scan_source(payload["source"]))
+            for tool in simulated_tool_suite()
+        ]
+    return result
+
+
+def run_attack(payload: dict) -> dict:
+    """Worker for :class:`AttackJob`."""
+    scenario = attack_by_name(payload["attack"])
+    env = environment_by_label(payload.get("env", "unprotected"))
+    return attack_payload(scenario.run(env))
+
+
+def run_matrix(payload: dict) -> dict:
+    """Worker for :class:`MatrixJob` (the sequential whole-matrix path)."""
+    attack_names = payload.get("attacks") or ()
+    defense_names = payload.get("defenses") or ()
+    scenarios = (
+        [attack_by_name(name) for name in attack_names]
+        if attack_names
+        else all_attacks()
+    )
+    defenses = (
+        tuple(defense_by_name(name) for name in defense_names)
+        if defense_names
+        else ALL_DEFENSES
+    )
+    matrix = evaluate_matrix(scenarios, defenses)
+    return {
+        "defenses": [defense.name for defense in defenses],
+        "cells": [
+            {
+                "attack": cell.attack,
+                "defense": cell.defense,
+                "summary": cell.summary,
+                "succeeded": cell.result.succeeded,
+                "detected_by": cell.result.detected_by,
+                "crashed": cell.result.crashed,
+            }
+            for cell in matrix.cells
+        ],
+        "attacks_succeeding": {
+            defense.name: matrix.wins_for_defense(defense.name)
+            for defense in defenses
+        },
+    }
+
+
+def run_exec(payload: dict) -> dict:
+    """Worker for :class:`ExecJob`."""
+    from ..execution import run_source
+    from ..runtime import CanaryPolicy, Machine, MachineConfig
+
+    machine = Machine(
+        MachineConfig(
+            canary_policy=(
+                CanaryPolicy.RANDOM if payload.get("canary") else CanaryPolicy.NONE
+            )
+        )
+    )
+    try:
+        interpreter, outcome = run_source(
+            payload["source"],
+            entry=payload.get("entry", "main"),
+            args=tuple(payload.get("args") or ()),
+            machine=machine,
+            stdin=tuple(payload.get("stdin") or ()),
+        )
+    except SimulatedProcessError as error:
+        return {
+            "died": True,
+            "error": str(error),
+            "error_type": type(error).__name__,
+            "events": [str(event) for event in machine.events],
+        }
+    return {
+        "died": False,
+        "return_value": _jsonify(outcome.return_value),
+        "steps": outcome.steps,
+        "hijacked": bool(
+            outcome.frame_exit is not None and outcome.frame_exit.hijacked
+        ),
+        "outputs": [str(output) for output in interpreter.outputs],
+        "events": [str(event) for event in machine.events],
+        "placements": [
+            {
+                "type": record.type_name,
+                "size": record.size,
+                "address": record.address,
+                "arena_size": record.arena_size,
+                "overflow": record.overflows_arena,
+            }
+            for record in machine.placement_log.records
+        ],
+    }
+
+
+#: Kind → worker function.  Extensible at runtime (thread backend only).
+WORKER_REGISTRY: dict = {
+    "analyze": run_analyze,
+    "attack": run_attack,
+    "matrix": run_matrix,
+    "exec": run_exec,
+}
+
+
+def register_worker(kind: str, fn: Callable[[dict], dict]) -> None:
+    """Register (or replace) the worker for a job kind."""
+    WORKER_REGISTRY[kind] = fn
+
+
+def execute_job(kind: str, payload: dict) -> dict:
+    """Dispatch one job payload to its worker (picklable entry point)."""
+    try:
+        worker = WORKER_REGISTRY[kind]
+    except KeyError:
+        raise KeyError(f"no worker registered for job kind '{kind}'")
+    return worker(payload)
+
+
+class WorkerPool:
+    """A sized pool of job executors over threads or processes."""
+
+    def __init__(self, max_workers: int = 4, backend: str = "thread"):
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        if backend not in ("thread", "process"):
+            raise ValueError("backend must be 'thread' or 'process'")
+        self.size = max_workers
+        self.backend = backend
+        if backend == "process":
+            self._executor = ProcessPoolExecutor(max_workers=max_workers)
+        else:
+            self._executor = ThreadPoolExecutor(
+                max_workers=max_workers, thread_name_prefix="repro-worker"
+            )
+
+    def submit(self, kind: str, payload: dict) -> Future:
+        """Queue one job on the underlying executor."""
+        return self._executor.submit(execute_job, kind, payload)
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

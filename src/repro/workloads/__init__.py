@@ -7,6 +7,7 @@ from .classes import (
     make_student_classes,
     set_ssn,
 )
+from .corpus import FULL_CORPUS, CorpusProgram, corpus_sources
 from .generators import (
     DetectorScore,
     GeneratedProgram,
@@ -16,8 +17,11 @@ from .generators import (
 )
 
 __all__ = [
+    "CorpusProgram",
     "DetectorScore",
+    "FULL_CORPUS",
     "GeneratedProgram",
+    "corpus_sources",
     "generate_corpus",
     "generate_program",
     "make_mobile_player",

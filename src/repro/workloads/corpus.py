@@ -481,3 +481,22 @@ CLASSIC_CORPUS: tuple[CorpusProgram, ...] = (
 FULL_CORPUS: tuple[CorpusProgram, ...] = (
     PLACEMENT_CORPUS + SAFE_CORPUS + CLASSIC_CORPUS
 )
+
+
+def corpus_sources(
+    generated: int = 0, seed: int = 2011
+) -> "list[tuple[str, str]]":
+    """``(label, source)`` pairs for sweep-style batch analysis.
+
+    The paper corpus, optionally extended with ``generated``
+    reproducible programs from :func:`~repro.workloads.generators
+    .generate_corpus` — the service layer and benchmarks use this to
+    build arbitrarily large, deterministic sweep workloads.
+    """
+    sources = [(program.key, program.source) for program in FULL_CORPUS]
+    if generated:
+        from .generators import generate_corpus
+
+        for index, program in enumerate(generate_corpus(seed, generated)):
+            sources.append((f"generated-{seed}-{index:04d}", program.source))
+    return sources

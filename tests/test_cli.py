@@ -32,13 +32,13 @@ class TestAttacksCli:
         out = capsys.readouterr().out
         assert "DETECTED by bounds-check" in out
 
-    def test_unknown_env_rejected(self):
-        with pytest.raises(SystemExit):
-            attacks_main(["--env", "fortress"])
+    def test_unknown_env_rejected(self, capsys):
+        assert attacks_main(["--env", "fortress"]) == 2
+        assert "unknown environment" in capsys.readouterr().err
 
-    def test_unknown_attack_rejected(self):
-        with pytest.raises(KeyError):
-            attacks_main(["--attack", "nope"])
+    def test_unknown_attack_rejected(self, capsys):
+        assert attacks_main(["--attack", "nope"]) == 2
+        assert "no attack named" in capsys.readouterr().err
 
 
 class TestAnalyzeCli:
@@ -70,3 +70,68 @@ class TestAnalyzeCli:
         source = tmp_path / "fine.cpp"
         source.write_text("void f() { int x = 1; }\n")
         assert analyze_main([str(source)]) == 0
+
+    def test_json_output_is_deterministic(self, capsys):
+        import json
+
+        analyze_main(["--json"])
+        first = capsys.readouterr().out
+        analyze_main(["--json"])
+        second = capsys.readouterr().out
+        assert first == second
+        document = json.loads(first[: first.index("}\n{") + 1])
+        assert list(document) == sorted(document)  # sorted keys
+
+    def test_parallel_jobs_output_matches_sequential(self, capsys):
+        assert analyze_main([]) == 0
+        sequential = capsys.readouterr().out
+        assert analyze_main(["--jobs", "4"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == sequential
+
+    def test_parallel_json_matches_sequential(self, capsys):
+        analyze_main(["--json"])
+        sequential = capsys.readouterr().out
+        analyze_main(["--json", "--jobs", "4"])
+        parallel = capsys.readouterr().out
+        assert parallel == sequential
+
+    def test_missing_file_exits_2(self, capsys):
+        assert analyze_main(["/no/such/file.cpp"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_bad_jobs_value_exits_2(self, capsys):
+        assert analyze_main(["--jobs", "0"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+
+class TestExecCli:
+    def test_missing_file_exits_2(self, capsys):
+        from repro.cli import exec_main
+
+        assert exec_main(["/no/such/file.cpp"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_bad_args_exit_2(self, tmp_path, capsys):
+        from repro.cli import exec_main
+
+        source = tmp_path / "ok.cpp"
+        source.write_text("int main(int a, char b) { return 0; }\n")
+        assert exec_main([str(source), "--args", "1,zap"]) == 2
+        assert "bad integer" in capsys.readouterr().err
+
+    def test_runs_simple_program(self, tmp_path, capsys):
+        from repro.cli import exec_main
+
+        source = tmp_path / "ok.cpp"
+        source.write_text("int main(int a, char b) { return 12; }\n")
+        assert exec_main([str(source)]) == 0
+        assert "returned 12" in capsys.readouterr().out
+
+
+class TestServeCli:
+    def test_bad_workers_exits_2(self, capsys):
+        from repro.cli import serve_main
+
+        assert serve_main(["--workers", "0"]) == 2
+        assert "--workers" in capsys.readouterr().err

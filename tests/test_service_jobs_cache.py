@@ -1,0 +1,109 @@
+"""Job identity and result-cache behavior (repro.service)."""
+
+import json
+
+from repro.service import (
+    AnalyzeJob,
+    AttackJob,
+    ExecJob,
+    MatrixJob,
+    ResultCache,
+    default_cache_version,
+)
+
+
+class TestJobKeys:
+    def test_same_payload_same_key(self):
+        a = AnalyzeJob(source="void f() {}", label="x")
+        b = AnalyzeJob(source="void f() {}", label="x")
+        assert a.key() == b.key()
+
+    def test_key_distinguishes_payload_fields(self):
+        base = AnalyzeJob(source="void f() {}")
+        assert base.key() != AnalyzeJob(source="void g() {}").key()
+        assert base.key() != AnalyzeJob(source="void f() {}", legacy=True).key()
+
+    def test_key_distinguishes_kinds(self):
+        assert (
+            AttackJob(attack="x").key().split("-")[0]
+            != MatrixJob().key().split("-")[0]
+        )
+        assert AttackJob(attack="x").key().startswith("attack-")
+
+    def test_key_stable_across_field_order(self):
+        # keys hash a canonical JSON encoding, not repr() order
+        job = AttackJob(attack="heap-overflow", env="stackguard")
+        assert job.key() == AttackJob(env="stackguard", attack="heap-overflow").key()
+
+    def test_exec_jobs_not_cacheable(self):
+        assert ExecJob(source="int main() { return 0; }").CACHEABLE is False
+        assert AnalyzeJob(source="").CACHEABLE is True
+
+    def test_payload_is_jsonable(self):
+        payload = MatrixJob(attacks=("a", "b")).payload()
+        assert json.loads(json.dumps(payload)) == {
+            "attacks": ["a", "b"],
+            "defenses": [],
+        }
+
+
+class TestResultCache:
+    def test_memory_hit_and_miss_accounting(self):
+        cache = ResultCache()
+        assert cache.get("k") is None
+        cache.put("k", {"v": 1})
+        assert cache.get("k") == {"v": 1}
+        assert (cache.hits, cache.misses, cache.stores) == (1, 1, 1)
+        assert 0.0 < cache.hit_rate < 1.0
+
+    def test_disk_persistence_across_instances(self, tmp_path):
+        first = ResultCache(directory=str(tmp_path), version="v1")
+        first.put("job-abc", {"answer": 42})
+        second = ResultCache(directory=str(tmp_path), version="v1")
+        assert second.get("job-abc") == {"answer": 42}
+        assert second.disk_hits == 1
+
+    def test_version_bump_invalidates(self, tmp_path):
+        old = ResultCache(directory=str(tmp_path), version="detector-1")
+        old.put("job-abc", {"stale": True})
+        bumped = ResultCache(directory=str(tmp_path), version="detector-2")
+        assert bumped.get("job-abc") is None
+        assert bumped.misses == 1
+        # the old version's entry is untouched, just unreachable
+        assert ResultCache(directory=str(tmp_path), version="detector-1").get(
+            "job-abc"
+        ) == {"stale": True}
+
+    def test_lru_eviction_accounting(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("a", {"n": 1})
+        cache.put("b", {"n": 2})
+        assert cache.get("a") == {"n": 1}  # refresh a; b is now LRU
+        cache.put("c", {"n": 3})
+        assert cache.evictions == 1
+        assert len(cache) == 2
+        assert cache.get("b") is None
+        assert cache.get("a") == {"n": 1}
+
+    def test_default_version_tracks_detector(self):
+        from repro import __version__
+        from repro.analysis import DETECTOR_VERSION
+
+        version = default_cache_version()
+        assert __version__ in version
+        assert DETECTOR_VERSION in version
+
+    def test_corrupt_disk_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(directory=str(tmp_path), version="v1")
+        cache.put("job-abc", {"fine": True})
+        path = tmp_path / "v1" / "job-abc.json"
+        path.write_text("{not json")
+        fresh = ResultCache(directory=str(tmp_path), version="v1")
+        assert fresh.get("job-abc") is None
+
+    def test_stats_shape(self, tmp_path):
+        cache = ResultCache(directory=str(tmp_path), version="v9")
+        stats = cache.stats()
+        assert stats["version"] == "v9"
+        assert stats["persistent"] is True
+        assert set(stats) >= {"hits", "misses", "evictions", "hit_rate", "entries"}

@@ -1,0 +1,320 @@
+"""Scheduler semantics: priorities, timeouts, retries, drain, caching.
+
+Custom test-only job kinds are registered in the worker registry so the
+scheduler's control flow can be exercised without real analysis work
+(thread backend only — exactly what these tests use).
+"""
+
+import threading
+import time
+from dataclasses import dataclass
+
+import pytest
+
+from repro.service import (
+    AnalyzeJob,
+    HIGH_PRIORITY,
+    Job,
+    JobFailed,
+    JobStatus,
+    LOW_PRIORITY,
+    MetricsRegistry,
+    QueueFull,
+    ResultCache,
+    Scheduler,
+    TransientWorkerError,
+    WorkerPool,
+    register_worker,
+)
+
+
+@dataclass(frozen=True)
+class ProbeJob(Job):
+    """Test-only job; ``token`` differentiates cache keys."""
+
+    token: str = ""
+
+    KIND = "test-probe"
+
+
+@dataclass(frozen=True)
+class SleepJob(Job):
+    duration: float = 0.0
+    token: str = ""
+
+    KIND = "test-sleep"
+
+
+@dataclass(frozen=True)
+class FlakyJob(Job):
+    token: str = ""
+
+    KIND = "test-flaky"
+
+
+@pytest.fixture(autouse=True)
+def _workers(request):
+    """(Re)register the test worker kinds with fresh per-test state."""
+    state = {"ran": [], "flaky_failures": 2, "lock": threading.Lock()}
+
+    def probe(payload):
+        with state["lock"]:
+            state["ran"].append(payload.get("token", ""))
+        return {"token": payload.get("token", "")}
+
+    def sleepy(payload):
+        time.sleep(payload["duration"])
+        return probe(payload)
+
+    def flaky(payload):
+        with state["lock"]:
+            if state["flaky_failures"] > 0:
+                state["flaky_failures"] -= 1
+                raise TransientWorkerError("worker lost (simulated)")
+        return probe(payload)
+
+    register_worker("test-probe", probe)
+    register_worker("test-sleep", sleepy)
+    register_worker("test-flaky", flaky)
+    if request.cls is not None:
+        request.cls.state = state
+    yield state
+
+
+class TestSchedulerBasics:
+    state: dict
+
+    def test_submit_and_result(self):
+        with Scheduler(pool=WorkerPool(max_workers=2)) as scheduler:
+            handle = scheduler.submit(ProbeJob(token="a"))
+            assert handle.result(timeout=5) == {"token": "a"}
+            outcome = handle.outcome()
+            assert outcome.status is JobStatus.SUCCEEDED
+            assert outcome.attempts == 1
+            assert not outcome.from_cache
+
+    def test_map_preserves_order(self):
+        with Scheduler(pool=WorkerPool(max_workers=4)) as scheduler:
+            handles = scheduler.map(
+                [ProbeJob(token=str(index)) for index in range(16)]
+            )
+            assert [h.result(timeout=5)["token"] for h in handles] == [
+                str(index) for index in range(16)
+            ]
+
+    def test_priority_order_with_single_worker(self):
+        release = threading.Event()
+
+        def blocker(payload):
+            release.wait(timeout=5)
+            return {}
+
+        register_worker("test-block", blocker)
+
+        @dataclass(frozen=True)
+        class BlockJob(Job):
+            KIND = "test-block"
+
+        with Scheduler(pool=WorkerPool(max_workers=1)) as scheduler:
+            blocking = scheduler.submit(BlockJob())
+            low = scheduler.submit(ProbeJob(token="low"), priority=LOW_PRIORITY)
+            high = scheduler.submit(ProbeJob(token="high"), priority=HIGH_PRIORITY)
+            release.set()
+            low.result(timeout=5)
+            high.result(timeout=5)
+            blocking.result(timeout=5)
+        assert self.state["ran"] == ["high", "low"]
+
+    def test_bounded_queue_rejects_overflow(self):
+        release = threading.Event()
+
+        def blocker(payload):
+            release.wait(timeout=5)
+            return {}
+
+        register_worker("test-block", blocker)
+
+        @dataclass(frozen=True)
+        class BlockJob(Job):
+            token: str = ""
+
+            KIND = "test-block"
+
+        scheduler = Scheduler(pool=WorkerPool(max_workers=1), max_queue=2)
+        try:
+            # one job occupies the worker; two fill the queue
+            scheduler.submit(BlockJob(token="busy"))
+            time.sleep(0.05)  # let the dispatcher pick it up
+            scheduler.submit(BlockJob(token="q1"))
+            scheduler.submit(BlockJob(token="q2"))
+            with pytest.raises(QueueFull):
+                scheduler.submit(BlockJob(token="q3"))
+        finally:
+            release.set()
+            scheduler.shutdown()
+
+
+class TestTimeoutsAndRetries:
+    state: dict
+
+    def test_timeout_marks_job_timed_out(self):
+        with Scheduler(pool=WorkerPool(max_workers=1)) as scheduler:
+            handle = scheduler.submit(SleepJob(duration=5.0), timeout=0.05)
+            outcome = handle.outcome(timeout=5)
+            assert outcome.status is JobStatus.TIMED_OUT
+            assert "0.05" in outcome.error
+            with pytest.raises(JobFailed):
+                handle.result()
+
+    def test_transient_failures_retry_with_backoff(self):
+        naps = []
+        with Scheduler(
+            pool=WorkerPool(max_workers=1),
+            backoff_base=0.05,
+            backoff_cap=10.0,
+            max_retries=3,
+            sleep=naps.append,
+        ) as scheduler:
+            outcome = scheduler.submit(FlakyJob(token="f")).outcome(timeout=5)
+        assert outcome.status is JobStatus.SUCCEEDED
+        assert outcome.attempts == 3  # two transient failures, then success
+        assert naps == [0.05, 0.1]  # exponential backoff
+
+    def test_backoff_respects_cap(self):
+        self.state["flaky_failures"] = 3
+        naps = []
+        with Scheduler(
+            pool=WorkerPool(max_workers=1),
+            backoff_base=0.05,
+            backoff_cap=0.07,
+            max_retries=5,
+            sleep=naps.append,
+        ) as scheduler:
+            scheduler.submit(FlakyJob(token="f")).result(timeout=5)
+        assert naps == [0.05, 0.07, 0.07]
+
+    def test_retries_exhausted_fails(self):
+        self.state["flaky_failures"] = 99
+        with Scheduler(
+            pool=WorkerPool(max_workers=1),
+            max_retries=1,
+            sleep=lambda _: None,
+        ) as scheduler:
+            outcome = scheduler.submit(FlakyJob()).outcome(timeout=5)
+        assert outcome.status is JobStatus.FAILED
+        assert "TransientWorkerError" in outcome.error
+        assert outcome.attempts == 2
+
+    def test_worker_exception_fails_without_retry(self):
+        def broken(payload):
+            raise ValueError("bad payload")
+
+        register_worker("test-broken", broken)
+
+        @dataclass(frozen=True)
+        class BrokenJob(Job):
+            KIND = "test-broken"
+
+        with Scheduler(pool=WorkerPool(max_workers=1)) as scheduler:
+            outcome = scheduler.submit(BrokenJob()).outcome(timeout=5)
+        assert outcome.status is JobStatus.FAILED
+        assert outcome.attempts == 1
+        assert "ValueError" in outcome.error
+
+
+class TestLifecycleAndCache:
+    state: dict
+
+    def test_drain_waits_for_all(self):
+        with Scheduler(pool=WorkerPool(max_workers=2)) as scheduler:
+            handles = scheduler.map(
+                [SleepJob(duration=0.01, token=str(i)) for i in range(8)]
+            )
+            scheduler.drain()
+            assert all(handle.done() for handle in handles)
+
+    def test_shutdown_without_wait_cancels_queued(self):
+        release = threading.Event()
+
+        def blocker(payload):
+            release.wait(timeout=5)
+            return {}
+
+        register_worker("test-block", blocker)
+
+        @dataclass(frozen=True)
+        class BlockJob(Job):
+            token: str = ""
+
+            KIND = "test-block"
+
+        scheduler = Scheduler(pool=WorkerPool(max_workers=1))
+        running = scheduler.submit(BlockJob(token="run"))
+        time.sleep(0.05)
+        queued = scheduler.submit(BlockJob(token="queued"))
+        release.set()
+        scheduler.shutdown(wait=False)
+        assert queued.outcome(timeout=5).status in (
+            JobStatus.CANCELLED,
+            JobStatus.SUCCEEDED,  # raced the dispatcher; either is legal
+        )
+        assert running.outcome(timeout=5).status is JobStatus.SUCCEEDED
+
+    def test_submit_after_shutdown_rejected(self):
+        scheduler = Scheduler(pool=WorkerPool(max_workers=1))
+        scheduler.shutdown()
+        with pytest.raises(RuntimeError):
+            scheduler.submit(ProbeJob())
+
+    def test_cache_short_circuits_second_submit(self):
+        cache = ResultCache()
+        with Scheduler(pool=WorkerPool(max_workers=1), cache=cache) as scheduler:
+            first = scheduler.submit(ProbeJob(token="x")).outcome(timeout=5)
+            second = scheduler.submit(ProbeJob(token="x")).outcome(timeout=5)
+        assert not first.from_cache
+        assert second.from_cache
+        assert second.result == first.result
+        assert self.state["ran"] == ["x"]  # worker ran exactly once
+
+    def test_use_cache_false_bypasses(self):
+        cache = ResultCache()
+        with Scheduler(pool=WorkerPool(max_workers=1), cache=cache) as scheduler:
+            scheduler.submit(ProbeJob(token="x")).result(timeout=5)
+            outcome = scheduler.submit(
+                ProbeJob(token="x"), use_cache=False
+            ).outcome(timeout=5)
+        assert not outcome.from_cache
+        assert self.state["ran"] == ["x", "x"]
+
+    def test_detector_version_bump_recomputes_analysis(self, tmp_path):
+        source = "void f() {}"
+        with Scheduler(
+            pool=WorkerPool(max_workers=1),
+            cache=ResultCache(directory=str(tmp_path), version="d1"),
+        ) as scheduler:
+            scheduler.submit(AnalyzeJob(source=source)).result(timeout=5)
+            warm = scheduler.submit(AnalyzeJob(source=source)).outcome(timeout=5)
+            assert warm.from_cache
+        with Scheduler(
+            pool=WorkerPool(max_workers=1),
+            cache=ResultCache(directory=str(tmp_path), version="d2"),
+        ) as scheduler:
+            bumped = scheduler.submit(AnalyzeJob(source=source)).outcome(timeout=5)
+        assert not bumped.from_cache  # version bump invalidated the entry
+
+    def test_metrics_accounting(self):
+        metrics = MetricsRegistry()
+        cache = ResultCache()
+        with Scheduler(
+            pool=WorkerPool(max_workers=2), cache=cache, metrics=metrics
+        ) as scheduler:
+            for _ in range(2):
+                scheduler.submit(ProbeJob(token="m")).result(timeout=5)
+            scheduler.submit(SleepJob(duration=5.0), timeout=0.05).wait(5)
+        snapshot = metrics.snapshot()
+        counters = snapshot["counters"]
+        assert counters["scheduler.jobs_submitted"] == 3
+        assert counters["scheduler.jobs_succeeded"] == 1
+        assert counters["scheduler.cache_hits"] == 1
+        assert counters["scheduler.jobs_timed_out"] == 1
+        assert snapshot["histograms"]["scheduler.job_seconds"]["count"] == 1

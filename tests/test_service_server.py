@@ -1,0 +1,131 @@
+"""End-to-end repro-serve round trips on an ephemeral port."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service import ServiceClient, ServiceEngine, ServiceError, create_server
+
+VULN_SOURCE = """
+class A { public: double d; };
+class B : public A { public: int x[8]; };
+void f() { A a; B *b = new (&a) B(); }
+"""
+
+
+@pytest.fixture(scope="module")
+def service():
+    with ServiceEngine(workers=2) as engine:
+        server = create_server(engine, host="127.0.0.1", port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        base_url = "http://127.0.0.1:%d" % server.server_address[1]
+        try:
+            yield ServiceClient(base_url), engine, base_url
+        finally:
+            server.shutdown()
+            server.server_close()
+
+
+class TestEndpoints:
+    def test_healthz(self, service):
+        client, engine, _ = service
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["workers"] == 2
+
+    def test_analyze_round_trip(self, service):
+        client, _, _ = service
+        response = client.analyze(source=VULN_SOURCE, label="vuln")
+        assert response["label"] == "vuln"
+        assert "PN-OVERSIZE" in [f["rule"] for f in response["findings"]]
+
+    def test_analyze_corpus(self, service):
+        client, _, _ = service
+        response = client.analyze(corpus=True)
+        labels = [report["label"] for report in response["reports"]]
+        assert "listing4-construction" in labels
+
+    def test_attack_round_trip(self, service):
+        client, _, _ = service
+        response = client.attacks(attack="data-bss-overflow")
+        assert response["summary"] == "ATTACK-WINS"
+
+    def test_matrix_round_trip(self, service):
+        client, _, _ = service
+        response = client.matrix(
+            attacks=["data-bss-overflow"], defenses=["none", "checked-placement"]
+        )
+        assert response["defenses"] == ["none", "checked-placement"]
+        assert len(response["cells"]) == 2
+
+    def test_exec_round_trip(self, service):
+        client, _, _ = service
+        response = client.execute("int main(int a, char b) { return 9; }")
+        assert response["return_value"] == 9
+        assert response["died"] is False
+
+    def test_metrics_include_http_and_cache(self, service):
+        client, _, _ = service
+        metrics = client.metrics()
+        assert metrics["counters"]["http.requests"] >= 1
+        assert "hit_rate" in metrics["cache"]
+
+    def test_repeat_request_hits_cache(self, service):
+        client, engine, _ = service
+        client.analyze(source=VULN_SOURCE, label="warm")
+        hits_before = engine.cache.hits
+        client.analyze(source=VULN_SOURCE, label="warm")
+        assert engine.cache.hits == hits_before + 1
+
+
+class TestErrorHandling:
+    def test_unknown_path_404(self, service):
+        client, _, _ = service
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("GET", "/nope")
+        assert excinfo.value.status == 404
+
+    def test_missing_source_400(self, service):
+        client, _, _ = service
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("POST", "/analyze", {})
+        assert excinfo.value.status == 400
+
+    def test_malformed_json_400(self, service):
+        _, _, base_url = service
+        request = urllib.request.Request(
+            base_url + "/analyze",
+            data=b"{not json",
+            method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            urllib.request.urlopen(request, timeout=10)
+            raise AssertionError("expected HTTP 400")
+        except urllib.error.HTTPError as error:
+            assert error.code == 400
+            assert "JSON" in json.loads(error.read())["error"]
+
+    def test_unknown_attack_400(self, service):
+        client, _, _ = service
+        with pytest.raises(ServiceError) as excinfo:
+            client.attacks(attack="nope")
+        assert excinfo.value.status == 400
+        assert excinfo.value.message == "no attack named 'nope'"
+
+    def test_unknown_matrix_defense_400(self, service):
+        client, _, _ = service
+        with pytest.raises(ServiceError) as excinfo:
+            client.matrix(defenses=["bogus"])
+        assert excinfo.value.status == 400
+        assert "no defense named 'bogus'" in excinfo.value.message
+
+    def test_unknown_matrix_attack_400(self, service):
+        client, _, _ = service
+        with pytest.raises(ServiceError) as excinfo:
+            client.matrix(attacks=["bogus"])
+        assert excinfo.value.status == 400
