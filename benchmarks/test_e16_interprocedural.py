@@ -7,7 +7,7 @@ measures what bounded call-inlining buys the detector: helper-mediated
 placements go from an info-grade "unknown arena" to a decided verdict.
 """
 
-from repro.analysis import Severity, analyze_source, parse
+from repro.analysis import Severity, parse
 from repro.analysis.detector import PlacementNewDetector
 from repro.workloads.corpus import INTERPROC_CORPUS
 

@@ -9,7 +9,6 @@ the detector reports real, exploitable defects rather than patterns.
 """
 
 from repro.analysis import analyze_source
-from repro.errors import StackSmashingDetected
 from repro.execution import run_source
 from repro.runtime import CanaryPolicy, Machine, MachineConfig, password_file
 from repro.workloads.corpus import (

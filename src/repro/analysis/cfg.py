@@ -11,7 +11,6 @@ obj at program point p").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 from . import ast_nodes as ast
 

@@ -16,7 +16,7 @@ and constants collapse to ⊤ on disagreement, so loop fixpoints terminate.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional
 
 from . import ast_nodes as ast

@@ -38,7 +38,7 @@ from . import ast_nodes as ast
 from .dataflow import TOP, AbstractValue, Env, PointerTarget, root_name
 from .parser import parse
 from .reports import AnalysisReport, Finding, Severity
-from .symbols import SymbolTable, constant_int
+from .symbols import SymbolTable
 
 #: Revision of the detector's rule set and dataflow semantics.  Bump on
 #: any change that can alter findings — the service result cache keys on

@@ -13,7 +13,7 @@ corpus shows the scanner itself is not a straw man.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable
 
 from . import ast_nodes as ast
 from .parser import parse

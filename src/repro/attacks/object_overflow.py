@@ -13,7 +13,7 @@ from __future__ import annotations
 from ..cxx.types import INT, UINT
 from ..serialization.json_codec import construct_from_remote
 from ..serialization.remote import malicious_service
-from ..taint.engine import TaintEngine, TaintLabel
+from ..taint.engine import TaintEngine
 from ..workloads.classes import make_someclass, make_student_classes
 from .base import AttackResult, AttackScenario, Environment
 

@@ -310,15 +310,38 @@ def serve_main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="disable the result cache entirely",
     )
+    parser.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "inject faults for hardening demos: comma-separated "
+            "kind[:selector[:times[:delay]]] clauses, e.g. "
+            "'crash:analyze:2,hang:*:1:0.5' (kinds: crash, hang, "
+            "transient, unwritable-disk, slow-disk, corrupt-cache; "
+            "thread backend only)"
+        ),
+    )
     args = parser.parse_args(argv)
     if args.workers < 1:
         return _fail("--workers must be >= 1")
+    fault_plan = None
+    if args.fault_plan:
+        from .service import FaultPlan
+
+        if args.backend != "thread":
+            return _fail("--fault-plan requires the thread backend")
+        try:
+            fault_plan = FaultPlan.parse(args.fault_plan)
+        except ValueError as error:
+            return _fail(f"bad --fault-plan: {error}")
 
     engine = ServiceEngine(
         workers=args.workers,
         backend=args.backend,
         cache_dir=None if args.no_cache else args.cache_dir,
         use_cache=not args.no_cache,
+        fault_plan=fault_plan,
     )
     try:
         server = create_server(engine, host=args.host, port=args.port)
@@ -331,6 +354,8 @@ def serve_main(argv: Optional[Sequence[str]] = None) -> int:
         f"({args.workers} {args.backend} workers, cache "
         f"{'off' if args.no_cache else args.cache_dir})"
     )
+    if fault_plan is not None:
+        print(f"fault plan armed: {fault_plan.describe()}")
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive shutdown

@@ -9,7 +9,7 @@ maintains between the AST and the record-layout pass.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
 from ..errors import ApiMisuseError, LayoutError

@@ -19,7 +19,6 @@ from __future__ import annotations
 from typing import Any, Protocol
 
 from ..errors import ApiMisuseError, LayoutError
-from ..memory.encoding import POINTER_SIZE
 from .classdef import ClassDef
 from .layout import FieldSlot, LayoutEngine, RecordLayout
 from .types import ArrayType, CType

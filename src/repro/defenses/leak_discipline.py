@@ -20,7 +20,6 @@ from dataclasses import dataclass
 from ..core.new_expr import new_object
 from ..core.placement import placement_new
 from ..core.placement_delete import ArenaOwner
-from ..errors import BoundsCheckViolation
 from ..runtime.machine import Machine
 from ..workloads.classes import make_student_classes
 

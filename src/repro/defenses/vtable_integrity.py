@@ -11,7 +11,7 @@ memory, as a loader-protected section would.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..cxx.object_model import Instance
 from ..errors import SimulatedProcessError

@@ -18,7 +18,7 @@ run), ``delete``, and a small builtin library (``strncpy``, ``strcpy``,
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional
 
 from ..analysis import ast_nodes as ast
@@ -40,7 +40,6 @@ from ..cxx.types import (
     array_of,
 )
 from ..errors import ApiMisuseError, SimulatedProcessError, SimulatedTimeout
-from ..memory.segments import SegmentKind
 from ..memory.tracker import ArenaOrigin
 from ..runtime.control_flow import FrameExit
 from ..runtime.machine import Machine

@@ -15,7 +15,6 @@ vulnerability.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from ..errors import ApiMisuseError, BoundsCheckViolation
 from .address_space import AddressSpace

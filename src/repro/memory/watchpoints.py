@@ -8,7 +8,7 @@ researcher would use to validate the attacks on real hardware.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ..errors import ApiMisuseError

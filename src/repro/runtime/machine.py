@@ -11,7 +11,7 @@ and inspect the outcome.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterator, Optional
 
 from ..core.placement import PlacementAuditLog

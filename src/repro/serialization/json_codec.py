@@ -13,7 +13,7 @@ it writes however many fields the wire object claims.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Mapping
 
 from ..cxx.classdef import ClassDef

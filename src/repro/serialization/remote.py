@@ -8,7 +8,7 @@ to ``addStudent`` in Listings 6–8 both come from here.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional
 
 from ..taint.engine import TaintLabel, TaintedValue
 from .json_codec import RemoteObject

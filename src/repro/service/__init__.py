@@ -12,6 +12,16 @@ the lifecycle together.  See ``docs/SERVICE.md``.
 from .cache import ResultCache, default_cache_version
 from .client import ServiceClient, ServiceError
 from .engine import ServiceEngine
+from .faults import (
+    CACHE_FAULTS,
+    DISPATCH_FAULTS,
+    WORKER_FAULTS,
+    FaultInjected,
+    FaultKind,
+    FaultPlan,
+    FaultRule,
+    fault_plan_from,
+)
 from .jobs import (
     HIGH_PRIORITY,
     LOW_PRIORITY,
@@ -22,7 +32,7 @@ from .jobs import (
     Job,
     MatrixJob,
 )
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, render_prometheus
 from .scheduler import (
     JobFailed,
     JobHandle,
@@ -32,10 +42,12 @@ from .scheduler import (
     Scheduler,
 )
 from .server import ServiceHTTPServer, create_server
+from .tracing import JobTrace, TraceBuffer, TraceSpan
 from .workers import (
     TransientWorkerError,
     WorkerPool,
     execute_job,
+    execute_job_with_faults,
     register_worker,
     report_from_payload,
     report_payload,
@@ -44,8 +56,14 @@ from .workers import (
 __all__ = [
     "AnalyzeJob",
     "AttackJob",
+    "CACHE_FAULTS",
     "Counter",
+    "DISPATCH_FAULTS",
     "ExecJob",
+    "FaultInjected",
+    "FaultKind",
+    "FaultPlan",
+    "FaultRule",
     "Gauge",
     "HIGH_PRIORITY",
     "Histogram",
@@ -54,6 +72,7 @@ __all__ = [
     "JobHandle",
     "JobOutcome",
     "JobStatus",
+    "JobTrace",
     "LOW_PRIORITY",
     "MatrixJob",
     "MetricsRegistry",
@@ -65,12 +84,18 @@ __all__ = [
     "ServiceEngine",
     "ServiceError",
     "ServiceHTTPServer",
+    "TraceBuffer",
+    "TraceSpan",
     "TransientWorkerError",
+    "WORKER_FAULTS",
     "WorkerPool",
     "create_server",
     "default_cache_version",
     "execute_job",
+    "execute_job_with_faults",
+    "fault_plan_from",
     "register_worker",
+    "render_prometheus",
     "report_from_payload",
     "report_payload",
 ]

@@ -12,9 +12,12 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from collections import OrderedDict
 from pathlib import Path
 from typing import Optional
+
+from .faults import CACHE_FAULTS, FaultKind, FaultPlan
 
 
 def default_cache_version() -> str:
@@ -33,12 +36,14 @@ class ResultCache:
         directory: Optional[str] = None,
         max_entries: int = 1024,
         version: Optional[str] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
         self.version = version or default_cache_version()
         self.max_entries = max_entries
         self.directory = Path(directory) if directory else None
+        self.fault_plan = fault_plan
         self._entries: "OrderedDict[str, dict]" = OrderedDict()
         self._lock = threading.RLock()
         self.hits = 0
@@ -46,6 +51,7 @@ class ResultCache:
         self.disk_hits = 0
         self.evictions = 0
         self.stores = 0
+        self.write_errors = 0
 
     # -- paths -------------------------------------------------------------
 
@@ -78,17 +84,49 @@ class ResultCache:
             self.misses += 1
             return None
 
-    def put(self, key: str, value: dict) -> None:
-        """Store a result in memory and (when configured) on disk."""
+    def put(self, key: str, value: dict) -> bool:
+        """Store a result in memory and (when configured) on disk.
+
+        The in-memory insert happens under the lock; the disk write does
+        NOT — a slow or wedged filesystem must never serialize readers
+        behind it.  Disk errors (full disk, read-only directory) are
+        absorbed into :attr:`write_errors` rather than raised: a job
+        whose worker succeeded stays succeeded even when the cache
+        cannot persist its result.  Returns ``True`` when the entry is
+        durable on disk (or no disk store is configured).
+        """
         with self._lock:
             self._insert(key, value)
             self.stores += 1
-            path = self._path(key)
-            if path is not None:
-                path.parent.mkdir(parents=True, exist_ok=True)
-                tmp = path.with_suffix(".tmp")
-                tmp.write_text(json.dumps(value, sort_keys=True))
-                tmp.replace(path)
+        return self._write_disk(key, value)
+
+    def _write_disk(self, key: str, value: dict) -> bool:
+        """Best-effort persistence; the fault plan's disk seam lives here."""
+        path = self._path(key)
+        if path is None:
+            return True
+        data = json.dumps(value, sort_keys=True)
+        try:
+            if self.fault_plan is not None:
+                rule = self.fault_plan.activate(CACHE_FAULTS, key=key)
+                if rule is not None:
+                    if rule.kind is FaultKind.UNWRITABLE_DISK:
+                        raise OSError(30, "injected read-only cache directory")
+                    if rule.kind is FaultKind.SLOW_DISK:
+                        time.sleep(rule.delay)
+                    elif rule.kind is FaultKind.CORRUPT_CACHE:
+                        data = '{"corrupt'  # readers treat this as a miss
+            path.parent.mkdir(parents=True, exist_ok=True)
+            # unique tmp name: concurrent writers of one key must not
+            # interleave inside each other's half-written file
+            tmp = path.parent / f"{path.name}.{threading.get_ident():x}.tmp"
+            tmp.write_text(data)
+            tmp.replace(path)
+        except OSError:
+            with self._lock:
+                self.write_errors += 1
+            return False
+        return True
 
     def _insert(self, key: str, value: dict) -> None:
         self._entries[key] = value
@@ -131,6 +169,7 @@ class ResultCache:
                 "disk_hits": self.disk_hits,
                 "evictions": self.evictions,
                 "stores": self.stores,
+                "write_errors": self.write_errors,
                 "hit_rate": round(self.hit_rate, 4),
                 "persistent": self.directory is not None,
             }

@@ -25,6 +25,11 @@ class ServiceClient:
         self.timeout = timeout
 
     def _request(self, method: str, path: str, body: Optional[dict] = None) -> dict:
+        return json.loads(self._request_raw(method, path, body))
+
+    def _request_raw(
+        self, method: str, path: str, body: Optional[dict] = None
+    ) -> bytes:
         data = json.dumps(body).encode() if body is not None else None
         request = urllib.request.Request(
             self.base_url + path,
@@ -34,7 +39,7 @@ class ServiceClient:
         )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                return json.loads(response.read())
+                return response.read()
         except urllib.error.HTTPError as error:
             try:
                 message = json.loads(error.read()).get("error", error.reason)
@@ -49,6 +54,18 @@ class ServiceClient:
 
     def metrics(self) -> dict:
         return self._request("GET", "/metrics")
+
+    def metrics_text(self) -> str:
+        """The Prometheus text exposition of the metrics snapshot."""
+        return self._request_raw("GET", "/metrics?format=prom").decode()
+
+    def trace(self, key: str) -> dict:
+        """The span record for job ``key`` (404 → :class:`ServiceError`)."""
+        return self._request("GET", f"/trace/{key}")
+
+    def traces(self) -> dict:
+        """``{"keys": [...]}`` — every job key with a retained trace."""
+        return self._request("GET", "/trace")
 
     def analyze(
         self,

@@ -16,6 +16,7 @@ from ..attacks import all_attacks, attack_by_name
 from ..defenses import ALL_DEFENSES, defense_by_name
 from ..workloads.corpus import corpus_sources
 from .cache import ResultCache
+from .faults import FaultPlan, fault_plan_from
 from .jobs import (
     HIGH_PRIORITY,
     LOW_PRIORITY,
@@ -25,8 +26,9 @@ from .jobs import (
     ExecJob,
     MatrixJob,
 )
-from .metrics import MetricsRegistry
+from .metrics import MetricsRegistry, render_prometheus
 from .scheduler import Scheduler
+from .tracing import TraceBuffer
 from .workers import WorkerPool, cell_summary
 
 
@@ -43,14 +45,24 @@ class ServiceEngine:
         max_queue: int = 1024,
         default_timeout: float = 60.0,
         max_retries: int = 2,
+        fault_plan: "FaultPlan | str | None" = None,
+        trace_capacity: int = 512,
     ):
         self.metrics = MetricsRegistry()
+        self.fault_plan = fault_plan_from(fault_plan)
+        self.traces = TraceBuffer(capacity=trace_capacity)
         self.cache = (
-            ResultCache(directory=cache_dir, version=cache_version)
+            ResultCache(
+                directory=cache_dir,
+                version=cache_version,
+                fault_plan=self.fault_plan,
+            )
             if use_cache
             else None
         )
-        self.pool = WorkerPool(max_workers=workers, backend=backend)
+        self.pool = WorkerPool(
+            max_workers=workers, backend=backend, fault_plan=self.fault_plan
+        )
         self.scheduler = Scheduler(
             pool=self.pool,
             cache=self.cache,
@@ -58,6 +70,8 @@ class ServiceEngine:
             max_queue=max_queue,
             default_timeout=default_timeout,
             max_retries=max_retries,
+            fault_plan=self.fault_plan,
+            traces=self.traces,
         )
 
     # -- lifecycle ---------------------------------------------------------
@@ -221,8 +235,24 @@ class ServiceEngine:
         """Scheduler + cache + pool state for the ``/metrics`` endpoint."""
         snapshot = self.metrics.snapshot()
         snapshot["cache"] = self.cache.stats() if self.cache else {"enabled": False}
-        snapshot["pool"] = {"backend": self.pool.backend, "workers": self.pool.size}
+        snapshot["pool"] = {
+            "backend": self.pool.backend,
+            "workers": self.pool.size,
+            "extra_workers": self.pool.extra_workers,
+        }
+        snapshot["faults"] = (
+            self.fault_plan.stats() if self.fault_plan else {"enabled": False}
+        )
         return snapshot
+
+    def metrics_prometheus(self) -> str:
+        """The snapshot in Prometheus text exposition format."""
+        return render_prometheus(self.metrics_snapshot())
+
+    def trace(self, key: str) -> Optional[dict]:
+        """The span record of the latest submission of ``key``, if traced."""
+        trace = self.traces.get(key)
+        return trace.to_dict() if trace is not None else None
 
     def health(self) -> dict:
         """Liveness payload for ``/healthz``."""

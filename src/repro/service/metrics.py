@@ -4,7 +4,9 @@ A deliberately small, stdlib-only metrics surface in the shape of the
 usual exporters: monotonically increasing counters, last-value gauges,
 and summary histograms (count/total/min/max/mean).  Everything is
 thread-safe and renders to a deterministic, sorted JSON document served
-by the ``/metrics`` endpoint.
+by the ``/metrics`` endpoint — or, via :func:`render_prometheus`, to
+the Prometheus text exposition format for scrapers
+(``GET /metrics?format=prom``).
 """
 
 from __future__ import annotations
@@ -116,3 +118,84 @@ class MetricsRegistry:
 
     def to_json(self) -> str:
         return json.dumps(self.snapshot(), sort_keys=True, indent=2)
+
+    def to_prometheus(self, prefix: str = "repro") -> str:
+        return render_prometheus(self.snapshot(), prefix=prefix)
+
+
+# -- Prometheus text exposition --------------------------------------------
+
+
+def _prom_name(*parts: str) -> str:
+    """Join metric name parts into a legal Prometheus identifier."""
+    return "_".join(parts).replace(".", "_").replace("-", "_")
+
+
+def _prom_number(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, float) and value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus(snapshot: dict, prefix: str = "repro") -> str:
+    """A metrics snapshot in the Prometheus text exposition format.
+
+    Counters gain the conventional ``_total`` suffix, histograms become
+    summaries (``_count``/``_sum`` plus ``_min``/``_max`` gauges), and
+    any extra sections in the snapshot (``cache``, ``pool``, ``faults``)
+    are flattened into gauges, with string values collected into one
+    ``<prefix>_<section>_info{...} 1`` metric per section.  Output is
+    sorted, so identical state renders byte-identically.
+    """
+    lines: list = []
+
+    def emit(name: str, kind: str, value) -> None:
+        lines.append(f"# TYPE {name} {kind}")
+        lines.append(f"{name} {_prom_number(value)}")
+
+    for name in sorted(snapshot.get("counters", ())):
+        emit(
+            _prom_name(prefix, name, "total"),
+            "counter",
+            snapshot["counters"][name],
+        )
+    for name in sorted(snapshot.get("gauges", ())):
+        emit(_prom_name(prefix, name), "gauge", snapshot["gauges"][name])
+    for name in sorted(snapshot.get("histograms", ())):
+        summary = snapshot["histograms"][name]
+        base = _prom_name(prefix, name)
+        lines.append(f"# TYPE {base} summary")
+        lines.append(f"{base}_count {_prom_number(summary['count'])}")
+        lines.append(f"{base}_sum {_prom_number(summary['total'])}")
+        for stat in ("min", "max"):
+            if summary.get(stat) is not None:
+                emit(f"{base}_{stat}", "gauge", summary[stat])
+    for section in sorted(snapshot):
+        mapping = snapshot[section]
+        if section in ("counters", "gauges", "histograms"):
+            continue
+        if not isinstance(mapping, dict):
+            continue
+        labels = []
+        flat: list = []
+
+        def _walk(path, value, flat=flat, labels=labels):
+            if isinstance(value, dict):
+                for child in sorted(value):
+                    _walk(path + (child,), value[child])
+            elif isinstance(value, (int, float, bool)):
+                flat.append((path, value))
+            elif isinstance(value, str):
+                labels.append(("_".join(path), value))
+
+        _walk((), mapping)
+        for path, value in flat:
+            emit(_prom_name(prefix, section, *path), "gauge", value)
+        if labels:
+            rendered = ",".join(f'{key}="{val}"' for key, val in labels)
+            name = _prom_name(prefix, section, "info")
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name}{{{rendered}}} 1")
+    return "\n".join(lines) + "\n"

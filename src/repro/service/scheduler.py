@@ -14,10 +14,24 @@ caller (e.g. the HTTP front end) decides whether to shed load or wait.
 One dispatcher thread per pool worker pops jobs in priority order and
 executes them on the pool with a per-job timeout.  Failures raising
 :class:`~repro.service.workers.TransientWorkerError` are retried with
-exponential backoff; anything else fails the job immediately.  Timeouts
-are terminal: the job is marked ``TIMED_OUT`` and the dispatcher moves
-on (the abandoned worker finishes in the background — the usual
-cooperative-cancellation caveat for in-process pools).
+exponential backoff plus deterministic, key-seeded jitter (so jobs that
+fail together do not retry in lockstep, and the same job still backs
+off identically on every run); anything else fails the job immediately.
+
+Timeouts are terminal for the *job* (``TIMED_OUT``) but not for the
+pool: a worker that is still running when its deadline passes cannot be
+cancelled in-process, so the scheduler *abandons* it — the straggler is
+tracked in the ``scheduler.workers_abandoned`` gauge, the pool is
+expanded by one replacement worker (thread backend), and the loan is
+repaid when the straggler eventually finishes.  Concurrent abandons are
+capped (``max_abandoned``); past the cap the scheduler keeps resolving
+jobs but marks their outcomes degraded instead of growing forever.
+
+Every submission opens a :class:`~repro.service.tracing.JobTrace`;
+its per-stage spans ride on :attr:`JobOutcome.trace` and remain
+queryable through :attr:`Scheduler.traces` (→ ``GET /trace/<key>``).
+A :class:`~repro.service.faults.FaultPlan` can be attached to inject
+retryable dispatch faults through a seam in ``_execute``.
 
 ``shutdown(wait=True)`` drains the queue then stops the dispatchers;
 ``wait=False`` cancels everything still queued.
@@ -26,17 +40,21 @@ cooperative-cancellation caveat for in-process pools).
 from __future__ import annotations
 
 import enum
+import hashlib
 import itertools
 import queue
 import threading
 import time
+from concurrent.futures import Future
 from concurrent.futures import TimeoutError as FutureTimeout
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, List, Optional
 
 from .cache import ResultCache
+from .faults import DISPATCH_FAULTS, FaultPlan
 from .jobs import NORMAL_PRIORITY, Job
 from .metrics import MetricsRegistry
+from .tracing import JobTrace, TraceBuffer
 from .workers import TransientWorkerError, WorkerPool
 
 
@@ -70,6 +88,9 @@ class JobOutcome:
     duration: float = 0.0
     from_cache: bool = False
     detail: dict = field(default_factory=dict)
+    #: The job's span record (``JobTrace.to_dict()``): trace id plus one
+    #: ``{stage, at, detail}`` entry per lifecycle stage.
+    trace: Optional[dict] = None
 
 
 class JobHandle:
@@ -124,7 +145,11 @@ class Scheduler:
         max_retries: int = 2,
         backoff_base: float = 0.05,
         backoff_cap: float = 2.0,
+        backoff_jitter: bool = True,
         sleep: Callable[[float], None] = time.sleep,
+        fault_plan: Optional[FaultPlan] = None,
+        traces: Optional[TraceBuffer] = None,
+        max_abandoned: Optional[int] = None,
     ):
         self.pool = pool or WorkerPool()
         self._owns_pool = pool is None
@@ -134,7 +159,15 @@ class Scheduler:
         self.max_retries = max_retries
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
+        self.backoff_jitter = backoff_jitter
         self._sleep = sleep
+        self.fault_plan = fault_plan
+        self.traces = traces if traces is not None else TraceBuffer()
+        self.max_abandoned = (
+            max_abandoned if max_abandoned is not None else 2 * self.pool.size
+        )
+        self._abandoned_now = 0
+        self._abandon_lock = threading.Lock()
         self._queue: "queue.PriorityQueue" = queue.PriorityQueue(maxsize=max_queue)
         self._seq = itertools.count()
         self._stopping = False
@@ -165,19 +198,24 @@ class Scheduler:
             raise RuntimeError("scheduler is shut down")
         handle = JobHandle(job)
         key = job.key()
+        trace = self.traces.start(key, job.KIND)
+        trace.record("submitted", priority=priority)
         self.metrics.counter("scheduler.jobs_submitted").inc()
         if self.cache is not None and use_cache and job.CACHEABLE:
             cached = self.cache.get(key)
             if cached is not None:
                 self.metrics.counter("scheduler.cache_hits").inc()
-                handle._resolve(
+                trace.record("cache-hit")
+                self._finish(
+                    handle,
+                    trace,
                     JobOutcome(
                         key=key,
                         kind=job.KIND,
                         status=JobStatus.SUCCEEDED,
                         result=cached,
                         from_cache=True,
-                    )
+                    ),
                 )
                 return handle
         item = (
@@ -189,14 +227,18 @@ class Scheduler:
             max_retries if max_retries is not None else self.max_retries,
             use_cache,
             time.monotonic(),
+            trace,
         )
         try:
             self._queue.put_nowait(item)
         except queue.Full:
+            trace.record("rejected", reason="queue-full")
             raise QueueFull(
                 f"work queue at capacity ({self._queue.maxsize} jobs)"
             ) from None
-        self.metrics.gauge("scheduler.queue_depth").set(self._queue.qsize())
+        depth = self._queue.qsize()
+        trace.record("queued", depth=depth)
+        self.metrics.gauge("scheduler.queue_depth").set(depth)
         return handle
 
     def map(
@@ -220,30 +262,102 @@ class Scheduler:
             if item[2] is _STOP:
                 self._queue.task_done()
                 return
-            _, _, job, handle, timeout, retries, use_cache, enqueued = item
+            _, _, job, handle, timeout, retries, use_cache, enqueued, trace = item
             self.metrics.gauge("scheduler.queue_depth").set(self._queue.qsize())
-            self.metrics.histogram("scheduler.queue_wait_seconds").observe(
-                time.monotonic() - enqueued
-            )
-            if self._stopping and self._cancelled_on_shutdown(job, handle):
+            waited = time.monotonic() - enqueued
+            self.metrics.histogram("scheduler.queue_wait_seconds").observe(waited)
+            trace.record("dispatched", waited=round(waited, 6))
+            if self._stopping and self._cancelled_on_shutdown(job, handle, trace):
                 self._queue.task_done()
                 continue
             try:
-                self._execute(job, handle, timeout, retries, use_cache)
+                self._execute(job, handle, timeout, retries, use_cache, trace)
             finally:
                 self._queue.task_done()
 
-    def _cancelled_on_shutdown(self, job: Job, handle: JobHandle) -> bool:
+    def _finish(self, handle: JobHandle, trace: JobTrace, outcome: JobOutcome) -> None:
+        """Stamp the terminal span, attach the trace, resolve the handle."""
+        trace.record(
+            "resolved",
+            status=outcome.status.value,
+            attempts=outcome.attempts or None,
+            from_cache=outcome.from_cache or None,
+        )
+        outcome.trace = trace.to_dict()
+        handle._resolve(outcome)
+
+    def _cancelled_on_shutdown(
+        self, job: Job, handle: JobHandle, trace: JobTrace
+    ) -> bool:
         self.metrics.counter("scheduler.jobs_cancelled").inc()
-        handle._resolve(
+        self._finish(
+            handle,
+            trace,
             JobOutcome(
                 key=job.key(),
                 kind=job.KIND,
                 status=JobStatus.CANCELLED,
                 error="scheduler shut down before the job ran",
-            )
+            ),
         )
         return True
+
+    def _backoff_delay(self, key: str, attempt: int) -> float:
+        """Exponential backoff with deterministic, key-seeded jitter.
+
+        Pure exponential backoff retries co-failing jobs in lockstep;
+        classic decorrelated jitter fixes that but makes tests flaky.
+        Hashing ``key:attempt`` gives every job its own stable fraction
+        in ``[0, 1)``, spreading the herd while staying byte-for-byte
+        reproducible across runs and processes.
+        """
+        base = min(self.backoff_base * (2 ** (attempt - 1)), self.backoff_cap)
+        if not self.backoff_jitter:
+            return base
+        digest = hashlib.sha256(f"{key}:{attempt}".encode()).digest()
+        fraction = int.from_bytes(digest[:8], "big") / 2 ** 64
+        return min(self.backoff_cap, base * (0.5 + fraction))
+
+    def _abandon(self, future: Future) -> bool:
+        """Account for a worker that blew its deadline; returns degraded.
+
+        A future that never started is simply cancelled (its slot was
+        never held).  A running straggler is counted in the
+        ``workers_abandoned`` gauge and covered by a replacement worker
+        (``pool.expand``); when it eventually finishes, the done
+        callback repays the loan.  Past ``max_abandoned`` concurrent
+        stragglers the pool stops growing and outcomes are flagged
+        degraded instead.
+        """
+        if future.cancel():
+            return False
+        with self._abandon_lock:
+            self._abandoned_now += 1
+            degraded = self._abandoned_now > self.max_abandoned
+            expanded = False if degraded else self.pool.expand(1)
+            self.metrics.counter("scheduler.workers_abandoned_total").inc()
+            self.metrics.gauge("scheduler.workers_abandoned").set(self._abandoned_now)
+            if degraded:
+                self.metrics.counter("scheduler.degraded").inc()
+
+        def _reclaim(finished: Future, expanded: bool = expanded) -> None:
+            finished.exception()  # consume, so stray errors are not logged
+            with self._abandon_lock:
+                self._abandoned_now -= 1
+                self.metrics.gauge("scheduler.workers_abandoned").set(
+                    self._abandoned_now
+                )
+            if expanded:
+                self.pool.shrink(1)
+
+        future.add_done_callback(_reclaim)
+        return degraded
+
+    @property
+    def abandoned_workers(self) -> int:
+        """Stragglers currently running past their deadline."""
+        with self._abandon_lock:
+            return self._abandoned_now
 
     def _execute(
         self,
@@ -252,6 +366,7 @@ class Scheduler:
         timeout: float,
         retries: int,
         use_cache: bool,
+        trace: JobTrace,
     ) -> None:
         key = job.key()
         payload = job.payload()
@@ -262,13 +377,26 @@ class Scheduler:
         try:
             while True:
                 attempts += 1
-                future = self.pool.submit(job.KIND, payload)
+                trace.record("attempt", n=attempts)
+                future: Optional[Future] = None
                 try:
+                    if self.fault_plan is not None:
+                        rule = self.fault_plan.activate(
+                            DISPATCH_FAULTS, job_kind=job.KIND, key=key
+                        )
+                        if rule is not None:
+                            raise TransientWorkerError(
+                                "injected transient dispatch fault"
+                            )
+                    future = self.pool.submit(job.KIND, payload)
                     result = future.result(timeout=timeout)
                 except FutureTimeout:
-                    future.cancel()
+                    degraded = self._abandon(future)
                     self.metrics.counter("scheduler.jobs_timed_out").inc()
-                    handle._resolve(
+                    trace.record("timed-out", after=timeout, degraded=degraded or None)
+                    self._finish(
+                        handle,
+                        trace,
                         JobOutcome(
                             key=key,
                             kind=job.KIND,
@@ -276,30 +404,30 @@ class Scheduler:
                             error=f"no result within {timeout}s",
                             attempts=attempts,
                             duration=time.monotonic() - started,
-                        )
+                            detail={"degraded": degraded} if degraded else {},
+                        ),
                     )
                     return
                 except TransientWorkerError as error:
                     if attempts <= retries:
+                        delay = self._backoff_delay(key, attempts)
                         self.metrics.counter("scheduler.jobs_retried").inc()
-                        self._sleep(
-                            min(
-                                self.backoff_base * (2 ** (attempts - 1)),
-                                self.backoff_cap,
-                            )
-                        )
+                        trace.record("retry", delay=round(delay, 6), error=str(error))
+                        self._sleep(delay)
                         continue
-                    self._fail(handle, key, job, error, attempts, started)
+                    self._fail(handle, key, job, error, attempts, started, trace)
                     return
                 except Exception as error:  # worker bug or bad payload
-                    self._fail(handle, key, job, error, attempts, started)
+                    self._fail(handle, key, job, error, attempts, started, trace)
                     return
                 duration = time.monotonic() - started
                 self.metrics.counter("scheduler.jobs_succeeded").inc()
                 self.metrics.histogram("scheduler.job_seconds").observe(duration)
                 if self.cache is not None and use_cache and job.CACHEABLE:
-                    self.cache.put(key, result)
-                handle._resolve(
+                    self._store(key, result, trace)
+                self._finish(
+                    handle,
+                    trace,
                     JobOutcome(
                         key=key,
                         kind=job.KIND,
@@ -307,11 +435,25 @@ class Scheduler:
                         result=result,
                         attempts=attempts,
                         duration=duration,
-                    )
+                    ),
                 )
                 return
         finally:
             busy.add(-1)
+
+    def _store(self, key: str, result: dict, trace: JobTrace) -> None:
+        """Cache a success; a failing cache must never fail the job."""
+        assert self.cache is not None
+        try:
+            durable = self.cache.put(key, result)
+        except Exception as error:  # belt and braces: put() should not raise
+            durable = False
+            trace.record("cache-write-error", error=f"{type(error).__name__}: {error}")
+        if durable:
+            trace.record("cached")
+        else:
+            self.metrics.counter("scheduler.cache_write_errors").inc()
+            trace.record("cache-write-error")
 
     def _fail(
         self,
@@ -321,9 +463,13 @@ class Scheduler:
         error: Exception,
         attempts: int,
         started: float,
+        trace: JobTrace,
     ) -> None:
         self.metrics.counter("scheduler.jobs_failed").inc()
-        handle._resolve(
+        trace.record("failed", error=f"{type(error).__name__}: {error}")
+        self._finish(
+            handle,
+            trace,
             JobOutcome(
                 key=key,
                 kind=job.KIND,
@@ -331,7 +477,7 @@ class Scheduler:
                 error=f"{type(error).__name__}: {error}",
                 attempts=attempts,
                 duration=time.monotonic() - started,
-            )
+            ),
         )
 
     # -- lifecycle ---------------------------------------------------------
@@ -356,10 +502,12 @@ class Scheduler:
                 except queue.Empty:
                     break
                 if item[2] is not _STOP:
-                    self._cancelled_on_shutdown(item[2], item[3])
+                    self._cancelled_on_shutdown(item[2], item[3], item[8])
                 self._queue.task_done()
         for _ in self._dispatchers:
-            self._queue.put((10 ** 9, next(self._seq), _STOP, None, 0, 0, False, 0.0))
+            self._queue.put(
+                (10 ** 9, next(self._seq), _STOP, None, 0, 0, False, 0.0, None)
+            )
         for thread in self._dispatchers:
             thread.join(timeout=5.0)
         if self._owns_pool:

@@ -6,7 +6,13 @@ Endpoints (all responses are ``application/json``):
     Liveness: engine version, worker count, cache state.
 ``GET /metrics``
     The full metrics snapshot (scheduler counters/histograms, cache
-    accounting, pool shape).
+    accounting, pool shape, fault-injection counts).  JSON by default;
+    ``?format=prom`` — or an ``Accept`` header asking for ``text/plain``
+    / OpenMetrics, as Prometheus scrapers send — switches to the
+    Prometheus text exposition format.
+``GET /trace/<key>``
+    The span record (trace id + per-stage spans) of the most recent
+    submission of job ``<key>``; ``GET /trace`` lists traced keys.
 ``POST /analyze``
     ``{"source": "..."}`` or ``{"corpus": true}`` — detector findings.
     Optional ``label`` and ``legacy`` fields.
@@ -31,6 +37,7 @@ from __future__ import annotations
 import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
 
 from .engine import ServiceEngine
 from .scheduler import JobFailed, QueueFull
@@ -56,8 +63,14 @@ class _ServiceHandler(BaseHTTPRequestHandler):
 
     def _send_json(self, status: int, body: dict) -> None:
         data = json.dumps(body, sort_keys=True).encode()
+        self._send_bytes(status, data, "application/json")
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        self._send_bytes(status, text.encode(), content_type)
+
+    def _send_bytes(self, status: int, data: bytes, content_type: str) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
         self.end_headers()
         self.wfile.write(data)
@@ -79,13 +92,39 @@ class _ServiceHandler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 (http.server convention)
         self.engine.metrics.counter("http.requests").inc()
-        if self.path == "/healthz":
+        parts = urlsplit(self.path)
+        path = parts.path
+        if path == "/healthz":
             self._send_json(200, self.engine.health())
-        elif self.path == "/metrics":
-            self._send_json(200, self.engine.metrics_snapshot())
+        elif path == "/metrics":
+            if self._wants_prometheus(parts.query):
+                self._send_text(
+                    200,
+                    self.engine.metrics_prometheus(),
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
+            else:
+                self._send_json(200, self.engine.metrics_snapshot())
+        elif path == "/trace" or path == "/trace/":
+            self._send_json(200, {"keys": self.engine.traces.keys()})
+        elif path.startswith("/trace/"):
+            key = path[len("/trace/"):]
+            trace = self.engine.trace(key)
+            if trace is None:
+                self._send_json(404, {"error": f"no trace recorded for job '{key}'"})
+            else:
+                self._send_json(200, trace)
         else:
             self.engine.metrics.counter("http.not_found").inc()
             self._send_json(404, {"error": f"unknown path {self.path}"})
+
+    def _wants_prometheus(self, query: str) -> bool:
+        """Prometheus text via ``?format=prom`` or scraper Accept headers."""
+        requested = parse_qs(query).get("format", [""])[0]
+        if requested:
+            return requested in ("prom", "prometheus", "text")
+        accept = self.headers.get("Accept", "")
+        return "text/plain" in accept or "openmetrics" in accept
 
     def do_POST(self) -> None:  # noqa: N802
         self.engine.metrics.counter("http.requests").inc()

@@ -16,8 +16,12 @@ processes import this module fresh and see just the built-in registry.
 
 from __future__ import annotations
 
+import threading
+import time
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Optional
+
+from .faults import WORKER_FAULTS, FaultInjected, FaultKind, FaultPlan
 
 from ..analysis import AnalysisReport, Finding, Severity, analyze_source, simulated_tool_suite
 from ..attacks import all_attacks, attack_by_name, environment_by_label
@@ -240,16 +244,36 @@ def execute_job(kind: str, payload: dict) -> dict:
     return worker(payload)
 
 
+def execute_job_with_faults(plan: FaultPlan, kind: str, payload: dict) -> dict:
+    """The worker-side fault seam: crash or hang before the real work."""
+    rule = plan.activate(WORKER_FAULTS, job_kind=kind)
+    if rule is not None:
+        if rule.kind is FaultKind.CRASH:
+            raise FaultInjected(f"injected worker crash for kind '{kind}'")
+        time.sleep(rule.delay)  # hang past the deadline, then finish
+    return execute_job(kind, payload)
+
+
 class WorkerPool:
     """A sized pool of job executors over threads or processes."""
 
-    def __init__(self, max_workers: int = 4, backend: str = "thread"):
+    def __init__(
+        self,
+        max_workers: int = 4,
+        backend: str = "thread",
+        fault_plan: Optional[FaultPlan] = None,
+    ):
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         if backend not in ("thread", "process"):
             raise ValueError("backend must be 'thread' or 'process'")
+        if fault_plan is not None and backend != "thread":
+            raise ValueError("fault injection requires the thread backend")
         self.size = max_workers
         self.backend = backend
+        self.fault_plan = fault_plan
+        self._resize_lock = threading.Lock()
+        self._extra_workers = 0
         if backend == "process":
             self._executor = ProcessPoolExecutor(max_workers=max_workers)
         else:
@@ -259,7 +283,51 @@ class WorkerPool:
 
     def submit(self, kind: str, payload: dict) -> Future:
         """Queue one job on the underlying executor."""
+        if self.fault_plan is not None:
+            return self._executor.submit(
+                execute_job_with_faults, self.fault_plan, kind, payload
+            )
         return self._executor.submit(execute_job, kind, payload)
+
+    # -- capacity repair ---------------------------------------------------
+
+    @property
+    def extra_workers(self) -> int:
+        """Replacement workers currently covering abandoned slots."""
+        with self._resize_lock:
+            return self._extra_workers
+
+    def expand(self, count: int = 1) -> bool:
+        """Grow capacity by ``count`` to cover an abandoned (hung) worker.
+
+        Thread backend only: the executor's worker budget is raised so
+        the next ``submit`` spawns a replacement thread instead of
+        queueing behind the hung one.  Returns ``False`` when the
+        backend cannot be resized (process pools re-fork on their own).
+        """
+        executor = self._executor
+        if self.backend != "thread" or not hasattr(executor, "_max_workers"):
+            return False
+        with self._resize_lock:
+            executor._max_workers += count
+            self._extra_workers += count
+        return True
+
+    def shrink(self, count: int = 1) -> None:
+        """Give back replacement capacity once an abandoned worker ends.
+
+        The budget drops immediately; a surplus idle thread (the
+        recovered straggler) dies with the pool rather than being
+        reaped, which is the usual ThreadPoolExecutor behavior.
+        """
+        executor = self._executor
+        if self.backend != "thread" or not hasattr(executor, "_max_workers"):
+            return
+        with self._resize_lock:
+            count = min(count, self._extra_workers)
+            if count > 0:
+                executor._max_workers -= count
+                self._extra_workers -= count
 
     def shutdown(self, wait: bool = True) -> None:
         self._executor.shutdown(wait=wait)

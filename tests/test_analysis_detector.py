@@ -3,7 +3,6 @@
 import pytest
 
 from repro.analysis import (
-    PlacementNewDetector,
     Severity,
     SymbolTable,
     analyze_source,
@@ -14,7 +13,6 @@ from repro.analysis import (
 )
 from repro.workloads.corpus import (
     CLASSIC_CORPUS,
-    FULL_CORPUS,
     PLACEMENT_CORPUS,
     SAFE_CORPUS,
 )

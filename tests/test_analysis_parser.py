@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.analysis import Parser, TokenKind, parse, tokenize
+from repro.analysis import TokenKind, parse, tokenize
 from repro.analysis import ast_nodes as ast
 from repro.errors import ParseError
 from repro.workloads.corpus import FULL_CORPUS

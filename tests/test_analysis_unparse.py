@@ -3,7 +3,7 @@
 import pytest
 
 from repro.analysis import analyze_source, parse
-from repro.analysis.unparse import unparse_expr, unparse_program
+from repro.analysis.unparse import unparse_program
 from repro.workloads.corpus import FULL_CORPUS, INTERPROC_CORPUS
 
 

@@ -1,6 +1,5 @@
 """Integration tests: control-flow hijack attacks and StackGuard evasion."""
 
-import pytest
 
 from repro.attacks import (
     NX_STACK,

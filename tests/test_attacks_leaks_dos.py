@@ -1,6 +1,5 @@
 """Integration tests: information leaks, DoS, and memory leaks (§4.3–4.5)."""
 
-import pytest
 
 from repro.attacks import (
     SANITIZE,

@@ -1,6 +1,5 @@
 """Integration tests: the object/array overflow attacks (Sections 3–4)."""
 
-import pytest
 
 from repro.attacks import (
     CHECKED_PLACEMENT,

@@ -1,6 +1,5 @@
 """Tests for the command-line front ends."""
 
-import pytest
 
 from repro.cli import analyze_main, attacks_main
 
@@ -135,3 +134,17 @@ class TestServeCli:
 
         assert serve_main(["--workers", "0"]) == 2
         assert "--workers" in capsys.readouterr().err
+
+    def test_bad_fault_plan_exits_2(self, capsys):
+        from repro.cli import serve_main
+
+        assert serve_main(["--fault-plan", "explode:everything"]) == 2
+        assert "unknown fault kind" in capsys.readouterr().err
+
+    def test_fault_plan_requires_thread_backend(self, capsys):
+        from repro.cli import serve_main
+
+        assert (
+            serve_main(["--fault-plan", "crash", "--backend", "process"]) == 2
+        )
+        assert "thread backend" in capsys.readouterr().err

@@ -6,9 +6,7 @@ from repro.core import (
     ArenaOwner,
     checked_placement_new,
     checked_placement_new_array,
-    construct,
     leaked_bytes,
-    new_array,
     new_object,
     place_or_heap_allocate,
     placement_delete,

@@ -8,7 +8,6 @@ from repro.cxx import (
     CHAR,
     DOUBLE,
     INT,
-    ClassDef,
     LayoutEngine,
     VirtualMethod,
     array_of,

@@ -3,9 +3,9 @@
 import pytest
 
 from repro.core import construct, new_object
-from repro.cxx import INT, VirtualMethod, array_of, make_class
+from repro.cxx import INT, make_class
 from repro.errors import ApiMisuseError, LayoutError, SegmentationFault
-from repro.workloads import make_student_classes, set_ssn
+from repro.workloads import set_ssn
 
 
 class TestInstanceFieldAccess:

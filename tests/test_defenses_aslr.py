@@ -1,6 +1,5 @@
 """Tests for the ASLR extension."""
 
-import pytest
 
 from repro.defenses.aslr import (
     ASLR_PAGE,

@@ -8,7 +8,6 @@ from repro.attacks import (
     SANITIZE,
     UNPROTECTED,
     AttackResult,
-    Environment,
     classify_failure,
     environment_with,
 )

@@ -8,7 +8,7 @@ dynamic validation of every static finding.
 import pytest
 
 from repro.errors import SimulatedTimeout, StackSmashingDetected
-from repro.execution import Interpreter, run_source
+from repro.execution import run_source
 from repro.memory.encoding import encode_pointer
 from repro.runtime import CanaryPolicy, Machine, MachineConfig, password_file
 from repro.workloads.corpus import (

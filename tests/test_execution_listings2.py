@@ -1,6 +1,5 @@
 """More corpus listings executed from source: Listings 4, 6, 7."""
 
-import pytest
 
 from repro.analysis.parser import parse
 from repro.execution import Interpreter, run_source

@@ -10,7 +10,7 @@ from repro.forensics import (
     annotate_address,
 )
 from repro.memory import SegmentKind, WatchpointManager
-from repro.workloads import make_student_classes, set_ssn
+from repro.workloads import set_ssn
 
 
 class TestWatchpoints:

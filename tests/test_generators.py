@@ -2,14 +2,11 @@
 
 import random
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.analysis import Severity, analyze_source, parse
+from repro.analysis import analyze_source, parse
 from repro.workloads.generators import (
-    DetectorScore,
-    GeneratedProgram,
     generate_corpus,
     generate_program,
     score_detector,

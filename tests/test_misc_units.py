@@ -3,7 +3,6 @@ extensions."""
 
 import json
 
-import pytest
 
 from repro.cli import analyze_main, exec_main
 from repro.cxx import NATIVE_STUB_MAGIC, TextImage

@@ -21,7 +21,7 @@ from repro.runtime import (
     password_file,
     spawn_shell_payload,
 )
-from repro.workloads import make_student_classes, set_ssn
+from repro.workloads import set_ssn
 
 
 class TestGlobals:

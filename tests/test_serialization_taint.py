@@ -13,7 +13,7 @@ from repro.serialization import (
     wire_size_estimate,
 )
 from repro.taint import TaintEngine, TaintLabel, TaintedValue
-from repro.workloads import make_student_classes, set_ssn
+from repro.workloads import set_ssn
 
 
 class TestRemoteObject:

@@ -114,8 +114,13 @@ class TestExecAndIntrospection:
 
     def test_metrics_snapshot_shape(self, engine):
         snapshot = engine.metrics_snapshot()
-        assert snapshot["pool"] == {"backend": "thread", "workers": 4}
+        assert snapshot["pool"] == {
+            "backend": "thread",
+            "workers": 4,
+            "extra_workers": 0,
+        }
         assert snapshot["cache"]["version"]
+        assert snapshot["faults"] == {"enabled": False}
         assert "scheduler.jobs_submitted" in snapshot["counters"]
 
     def test_health(self, engine):

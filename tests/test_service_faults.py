@@ -1,0 +1,223 @@
+"""Fault-injection hardening suite (repro.service.faults).
+
+The acceptance bar from the hardening issue: for every fault kind in
+:class:`FaultPlan` — worker crash, hang past deadline, transient burst,
+corrupt cache, unwritable disk, slow disk — every submitted job must
+resolve to a terminal :class:`JobStatus`, ``drain()`` must return, and
+no cache write error may flip a SUCCEEDED outcome.
+"""
+
+import threading
+import time
+from dataclasses import dataclass
+
+import pytest
+
+from repro.service import (
+    FaultInjected,
+    FaultKind,
+    FaultPlan,
+    Job,
+    JobStatus,
+    MetricsRegistry,
+    ResultCache,
+    Scheduler,
+    ServiceEngine,
+    WorkerPool,
+    execute_job_with_faults,
+    fault_plan_from,
+    register_worker,
+    render_prometheus,
+)
+
+TERMINAL = (JobStatus.SUCCEEDED, JobStatus.FAILED, JobStatus.TIMED_OUT)
+
+
+@dataclass(frozen=True)
+class EchoJob(Job):
+    token: str = ""
+
+    KIND = "test-echo"
+
+
+@pytest.fixture(autouse=True)
+def _echo_worker():
+    register_worker("test-echo", lambda payload: {"token": payload.get("token", "")})
+
+
+class TestFaultPlanSpec:
+    def test_parse_full_clause(self):
+        plan = FaultPlan.parse("crash:analyze:2:0.1")
+        (rule,) = plan.rules
+        assert rule.kind is FaultKind.CRASH
+        assert rule.selector == "analyze"
+        assert rule.times == 2
+        assert rule.delay == 0.1
+
+    def test_parse_defaults_and_unlimited(self):
+        plan = FaultPlan.parse("transient, hang:*:*:0.5")
+        assert plan.rules[0].selector == "*"
+        assert plan.rules[0].times == 1
+        assert plan.rules[1].times is None
+        assert plan.rules[1].delay == 0.5
+
+    def test_parse_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultPlan.parse("explode")
+
+    def test_parse_rejects_malformed_clause(self):
+        with pytest.raises(ValueError):
+            FaultPlan.parse("crash:a:b:c:d:e")
+
+    def test_activate_respects_selector_times_and_accounting(self):
+        plan = FaultPlan().add("crash", selector="analyze", times=1)
+        assert plan.activate(("crash",), job_kind="attack") is None
+        assert plan.activate(("crash",), job_kind="analyze") is not None
+        assert plan.activate(("crash",), job_kind="analyze") is None  # spent
+        assert plan.injected["crash"] == 1
+        assert plan.total_injected == 1
+        assert plan.stats()["rules_live"] == 0
+
+    def test_selector_matches_key_prefix(self):
+        plan = FaultPlan().add("unwritable-disk", selector="analyze")
+        assert plan.activate(("unwritable-disk",), key="analyze-3f2b") is not None
+
+    def test_fault_plan_from_coercions(self):
+        assert fault_plan_from(None) is None
+        plan = FaultPlan()
+        assert fault_plan_from(plan) is plan
+        parsed = fault_plan_from("crash")
+        assert isinstance(parsed, FaultPlan)
+        assert parsed.rules[0].kind is FaultKind.CRASH
+
+
+class TestWorkerSeam:
+    def test_crash_rule_raises_fault_injected(self):
+        plan = FaultPlan().add("crash", times=1)
+        with pytest.raises(FaultInjected):
+            execute_job_with_faults(plan, "test-echo", {"token": "x"})
+        # the rule burned out: the next run goes through
+        assert execute_job_with_faults(plan, "test-echo", {"token": "x"}) == {
+            "token": "x"
+        }
+
+    def test_hang_rule_delays_then_completes(self):
+        plan = FaultPlan().add("hang", times=1, delay=0.1)
+        started = time.monotonic()
+        result = execute_job_with_faults(plan, "test-echo", {"token": "h"})
+        assert result == {"token": "h"}
+        assert time.monotonic() - started >= 0.1
+
+    def test_process_backend_refuses_fault_plan(self):
+        with pytest.raises(ValueError, match="thread backend"):
+            WorkerPool(max_workers=1, backend="process", fault_plan=FaultPlan())
+
+
+@pytest.mark.parametrize(
+    "spec,expect_status",
+    [
+        ("crash:*:*", JobStatus.FAILED),
+        ("hang:*:*:0.5", JobStatus.TIMED_OUT),
+        ("transient:*:*", JobStatus.FAILED),  # unlimited burst exhausts retries
+        ("unwritable-disk:*:*", JobStatus.SUCCEEDED),
+        ("slow-disk:*:*:0.01", JobStatus.SUCCEEDED),
+        ("corrupt-cache:*:*", JobStatus.SUCCEEDED),
+    ],
+)
+def test_every_fault_kind_resolves_terminally_and_drain_returns(
+    spec, expect_status, tmp_path
+):
+    """The headline guarantee: induced faults never hang a job."""
+    plan = FaultPlan.parse(spec)
+    cache = ResultCache(directory=str(tmp_path), version="f1", fault_plan=plan)
+    pool = WorkerPool(max_workers=2, fault_plan=plan)
+    with Scheduler(
+        pool=pool,
+        cache=cache,
+        fault_plan=plan,
+        max_retries=2,
+        sleep=lambda _: None,
+    ) as scheduler:
+        handles = scheduler.map(
+            [EchoJob(token=f"{spec}-{i}") for i in range(6)],
+            timeout=0.1,
+        )
+        scheduler.drain()  # must return, never wedge
+        outcomes = [handle.outcome(timeout=10) for handle in handles]
+    assert all(outcome.status in TERMINAL for outcome in outcomes)
+    assert all(outcome.status is expect_status for outcome in outcomes), outcomes
+    assert plan.total_injected >= 6
+
+
+class TestCacheFaultSemantics:
+    def test_unwritable_disk_never_flips_a_success(self, tmp_path):
+        plan = FaultPlan().add("unwritable-disk", times=None)
+        cache = ResultCache(directory=str(tmp_path), version="v", fault_plan=plan)
+        metrics = MetricsRegistry()
+        with Scheduler(
+            pool=WorkerPool(max_workers=2), cache=cache, metrics=metrics
+        ) as scheduler:
+            outcome = scheduler.submit(EchoJob(token="w")).outcome(timeout=5)
+            assert outcome.status is JobStatus.SUCCEEDED
+            assert cache.write_errors == 1
+            # the in-memory tier still serves the result
+            warm = scheduler.submit(EchoJob(token="w")).outcome(timeout=5)
+            assert warm.from_cache
+        counters = metrics.snapshot()["counters"]
+        assert counters["scheduler.cache_write_errors"] == 1
+        stages = [span["stage"] for span in outcome.trace["spans"]]
+        assert "cache-write-error" in stages
+
+    def test_corrupt_entry_reads_as_a_miss(self, tmp_path):
+        plan = FaultPlan().add("corrupt-cache", times=1)
+        poisoned = ResultCache(
+            directory=str(tmp_path), version="v", fault_plan=plan
+        )
+        poisoned.put("test-echo-k", {"fine": True})
+        fresh = ResultCache(directory=str(tmp_path), version="v")
+        assert fresh.get("test-echo-k") is None  # tolerated, not raised
+        assert fresh.misses == 1
+
+    def test_slow_disk_does_not_block_readers(self, tmp_path):
+        plan = FaultPlan().add("slow-disk", times=None, delay=0.5)
+        cache = ResultCache(directory=str(tmp_path), version="v", fault_plan=plan)
+        cache.put("seed", {"n": 0})  # eats the first slow write
+
+        done = threading.Event()
+        threading.Thread(
+            target=lambda: (cache.put("slow", {"n": 1}), done.set()),
+            daemon=True,
+        ).start()
+        time.sleep(0.05)  # writer is now asleep inside the disk fault
+        started = time.monotonic()
+        assert cache.get("seed") == {"n": 0}  # memory read: not serialized
+        assert time.monotonic() - started < 0.3
+        assert done.wait(5)
+
+
+class TestEngineIntegration:
+    def test_engine_accepts_spec_string_and_counts_faults(self, tmp_path):
+        with ServiceEngine(
+            workers=2,
+            cache_dir=str(tmp_path),
+            fault_plan="transient:analyze:1",
+        ) as engine:
+            report = engine.analyze("void f() {}", label="fi")
+            assert report["label"] == "fi"
+            snapshot = engine.metrics_snapshot()
+        assert snapshot["faults"]["injected"]["transient"] == 1
+        assert snapshot["counters"]["scheduler.jobs_retried"] == 1
+
+    def test_prometheus_rendering_includes_new_gauges(self, tmp_path):
+        with ServiceEngine(
+            workers=2, cache_dir=str(tmp_path), fault_plan="crash:attack:1"
+        ) as engine:
+            engine.analyze("void f() {}")
+            text = engine.metrics_prometheus()
+        assert "# TYPE repro_scheduler_jobs_submitted_total counter" in text
+        assert "repro_scheduler_queue_depth" in text
+        assert "repro_cache_write_errors 0" in text
+        assert "repro_faults_injected_crash 0" in text
+        assert 'repro_pool_info{backend="thread"} 1' in text
+        # deterministic: identical state renders byte-identically
+        assert text == render_prometheus(engine.metrics_snapshot())

@@ -106,4 +106,87 @@ class TestResultCache:
         stats = cache.stats()
         assert stats["version"] == "v9"
         assert stats["persistent"] is True
-        assert set(stats) >= {"hits", "misses", "evictions", "hit_rate", "entries"}
+        assert set(stats) >= {
+            "hits",
+            "misses",
+            "evictions",
+            "hit_rate",
+            "entries",
+            "write_errors",
+        }
+
+
+class TestCacheWriteFailures:
+    """Disk errors are absorbed and counted, never raised to callers."""
+
+    @staticmethod
+    def _unwritable_dir(tmp_path):
+        # a regular file where the cache directory should be makes every
+        # mkdir fail with an OSError, even when running as root
+        blocker = tmp_path / "blocker"
+        blocker.write_text("in the way")
+        return str(blocker / "cache")
+
+    def test_put_swallows_oserror_and_counts_it(self, tmp_path):
+        cache = ResultCache(directory=self._unwritable_dir(tmp_path), version="v1")
+        assert cache.put("job-abc", {"answer": 42}) is False  # no raise
+        assert cache.write_errors == 1
+        # the in-memory tier still holds the value
+        assert cache.get("job-abc") == {"answer": 42}
+        assert cache.stats()["write_errors"] == 1
+
+    def test_concurrent_get_put_stress_on_unwritable_directory(self, tmp_path):
+        import threading
+
+        cache = ResultCache(
+            directory=self._unwritable_dir(tmp_path), version="v1", max_entries=64
+        )
+        errors = []
+        barrier = threading.Barrier(8)
+
+        def hammer(worker: int) -> None:
+            try:
+                barrier.wait(timeout=5)
+                for index in range(50):
+                    key = f"job-{worker}-{index % 10}"
+                    cache.put(key, {"worker": worker, "index": index})
+                    value = cache.get(key)
+                    assert value is not None and value["worker"] == worker
+            except Exception as error:  # noqa: BLE001 - recorded for assert
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=hammer, args=(worker,)) for worker in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert errors == []
+        assert cache.write_errors == 8 * 50  # every disk write failed, quietly
+        assert cache.stores == 8 * 50
+
+    def test_concurrent_writers_same_key_keep_entry_parseable(self, tmp_path):
+        import json as json_module
+        import threading
+
+        cache = ResultCache(directory=str(tmp_path), version="v1")
+        barrier = threading.Barrier(6)
+
+        def write(worker: int) -> None:
+            barrier.wait(timeout=5)
+            for _ in range(20):
+                cache.put("shared", {"worker": worker})
+
+        threads = [
+            threading.Thread(target=write, args=(worker,)) for worker in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert cache.write_errors == 0
+        # per-writer tmp files + atomic replace: the entry is whole JSON
+        on_disk = json_module.loads((tmp_path / "v1" / "shared.json").read_text())
+        assert on_disk in [{"worker": worker} for worker in range(6)]
+        assert not list((tmp_path / "v1").glob("*.tmp"))

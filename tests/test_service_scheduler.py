@@ -173,12 +173,13 @@ class TestTimeoutsAndRetries:
             backoff_base=0.05,
             backoff_cap=10.0,
             max_retries=3,
+            backoff_jitter=False,
             sleep=naps.append,
         ) as scheduler:
             outcome = scheduler.submit(FlakyJob(token="f")).outcome(timeout=5)
         assert outcome.status is JobStatus.SUCCEEDED
         assert outcome.attempts == 3  # two transient failures, then success
-        assert naps == [0.05, 0.1]  # exponential backoff
+        assert naps == [0.05, 0.1]  # exponential backoff (jitter disabled)
 
     def test_backoff_respects_cap(self):
         self.state["flaky_failures"] = 3
@@ -188,10 +189,46 @@ class TestTimeoutsAndRetries:
             backoff_base=0.05,
             backoff_cap=0.07,
             max_retries=5,
+            backoff_jitter=False,
             sleep=naps.append,
         ) as scheduler:
             scheduler.submit(FlakyJob(token="f")).result(timeout=5)
         assert naps == [0.05, 0.07, 0.07]
+
+    def test_jitter_is_deterministic_per_key_and_spread_across_keys(self):
+        def delays(token):
+            self.state["flaky_failures"] = 2
+            naps = []
+            with Scheduler(
+                pool=WorkerPool(max_workers=1),
+                backoff_base=0.05,
+                backoff_cap=10.0,
+                max_retries=3,
+                sleep=naps.append,
+            ) as scheduler:
+                scheduler.submit(FlakyJob(token=token)).result(timeout=5)
+            return naps
+
+        first = delays("alpha")
+        assert first == delays("alpha")  # key-seeded: reproducible runs
+        assert first != delays("beta")  # different keys break lockstep
+        for attempt, delay in enumerate(first, start=1):
+            base = 0.05 * 2 ** (attempt - 1)
+            assert base * 0.5 <= delay <= base * 1.5
+
+    def test_jitter_never_exceeds_cap(self):
+        self.state["flaky_failures"] = 4
+        naps = []
+        with Scheduler(
+            pool=WorkerPool(max_workers=1),
+            backoff_base=0.05,
+            backoff_cap=0.08,
+            max_retries=5,
+            sleep=naps.append,
+        ) as scheduler:
+            scheduler.submit(FlakyJob(token="capped")).result(timeout=5)
+        assert len(naps) == 4
+        assert all(delay <= 0.08 for delay in naps)
 
     def test_retries_exhausted_fails(self):
         self.state["flaky_failures"] = 99
@@ -318,3 +355,109 @@ class TestLifecycleAndCache:
         assert counters["scheduler.cache_hits"] == 1
         assert counters["scheduler.jobs_timed_out"] == 1
         assert snapshot["histograms"]["scheduler.job_seconds"]["count"] == 1
+
+
+class TestAbandonedWorkers:
+    """Regression: consecutive timeouts must not starve the pool."""
+
+    state: dict
+
+    def test_consecutive_timeouts_still_let_fresh_jobs_complete(self):
+        metrics = MetricsRegistry()
+        pool = WorkerPool(max_workers=2)
+        with Scheduler(pool=pool, metrics=metrics) as scheduler:
+            # four back-to-back timeouts: every original pool slot is
+            # held hostage by a sleeping worker at least once
+            hung = scheduler.map(
+                [SleepJob(duration=1.5, token=f"hang-{i}") for i in range(4)],
+                timeout=0.05,
+            )
+            outcomes = [handle.outcome(timeout=5) for handle in hung]
+            assert all(o.status is JobStatus.TIMED_OUT for o in outcomes)
+            assert metrics.snapshot()["counters"][
+                "scheduler.workers_abandoned_total"
+            ] >= 2
+            # fresh jobs must still complete promptly on replacements
+            fresh = scheduler.map(
+                [ProbeJob(token=f"fresh-{i}") for i in range(6)]
+            )
+            for handle in fresh:
+                assert handle.outcome(timeout=5).status is JobStatus.SUCCEEDED
+            scheduler.drain()  # must return, not wedge
+            # once the stragglers finish, the loaned capacity is repaid
+            deadline = time.monotonic() + 5
+            while scheduler.abandoned_workers and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert scheduler.abandoned_workers == 0
+            assert pool.extra_workers == 0
+
+    def test_abandon_cap_marks_outcomes_degraded(self):
+        with Scheduler(
+            pool=WorkerPool(max_workers=1), max_abandoned=1
+        ) as scheduler:
+            outcomes = [
+                scheduler.submit(
+                    SleepJob(duration=1.0, token=f"d{i}"), timeout=0.05
+                ).outcome(timeout=5)
+                for i in range(3)
+            ]
+        assert all(o.status is JobStatus.TIMED_OUT for o in outcomes)
+        assert any(o.detail.get("degraded") for o in outcomes)
+
+    def test_abandon_cancels_pending_future(self):
+        # a future that never started is cancelled outright: its slot
+        # was never held, so no replacement capacity is loaned
+        from concurrent.futures import Future
+
+        with Scheduler(pool=WorkerPool(max_workers=1)) as scheduler:
+            pending = Future()
+            assert scheduler._abandon(pending) is False
+            assert pending.cancelled()
+            assert scheduler.abandoned_workers == 0
+            assert scheduler.pool.extra_workers == 0
+
+
+class TestTracing:
+    state: dict
+
+    def test_outcome_carries_full_span_record(self):
+        with Scheduler(pool=WorkerPool(max_workers=1)) as scheduler:
+            outcome = scheduler.submit(ProbeJob(token="tr")).outcome(timeout=5)
+        stages = [span["stage"] for span in outcome.trace["spans"]]
+        assert stages == [
+            "submitted",
+            "queued",
+            "dispatched",
+            "attempt",
+            "resolved",
+        ]
+        assert outcome.trace["key"] == ProbeJob(token="tr").key()
+        assert outcome.trace["trace_id"].startswith("t")
+        ats = [span["at"] for span in outcome.trace["spans"]]
+        assert ats == sorted(ats)
+
+    def test_cache_hit_trace_and_buffer_lookup(self):
+        cache = ResultCache()
+        with Scheduler(pool=WorkerPool(max_workers=1), cache=cache) as scheduler:
+            scheduler.submit(ProbeJob(token="warm")).result(timeout=5)
+            warm = scheduler.submit(ProbeJob(token="warm")).outcome(timeout=5)
+            key = ProbeJob(token="warm").key()
+            buffered = scheduler.traces.get(key)
+        stages = [span["stage"] for span in warm.trace["spans"]]
+        assert stages == ["submitted", "cache-hit", "resolved"]
+        # the buffer holds the latest submission's trace
+        assert buffered is not None
+        assert buffered.to_dict() == warm.trace
+
+    def test_retry_and_failure_spans(self):
+        self.state["flaky_failures"] = 99
+        with Scheduler(
+            pool=WorkerPool(max_workers=1),
+            max_retries=1,
+            sleep=lambda _: None,
+        ) as scheduler:
+            outcome = scheduler.submit(FlakyJob(token="sp")).outcome(timeout=5)
+        stages = [span["stage"] for span in outcome.trace["spans"]]
+        assert stages.count("attempt") == 2
+        assert "retry" in stages
+        assert stages[-2:] == ["failed", "resolved"]

@@ -7,7 +7,13 @@ import urllib.request
 
 import pytest
 
-from repro.service import ServiceClient, ServiceEngine, ServiceError, create_server
+from repro.service import (
+    AnalyzeJob,
+    ServiceClient,
+    ServiceEngine,
+    ServiceError,
+    create_server,
+)
 
 VULN_SOURCE = """
 class A { public: double d; };
@@ -80,6 +86,39 @@ class TestEndpoints:
         hits_before = engine.cache.hits
         client.analyze(source=VULN_SOURCE, label="warm")
         assert engine.cache.hits == hits_before + 1
+
+    def test_metrics_prometheus_text(self, service):
+        client, _, base_url = service
+        client.healthz()  # ensure at least one counted request
+        text = client.metrics_text()
+        assert "# TYPE repro_http_requests_total counter" in text
+        assert "repro_scheduler_queue_depth" in text
+        assert "repro_cache_write_errors" in text
+        # scraper-style Accept negotiation reaches the same renderer
+        request = urllib.request.Request(
+            base_url + "/metrics",
+            headers={"Accept": "text/plain;version=0.0.4"},
+        )
+        with urllib.request.urlopen(request, timeout=10) as response:
+            assert "text/plain" in response.headers["Content-Type"]
+            assert b"repro_scheduler_jobs_submitted_total" in response.read()
+
+    def test_trace_endpoint_round_trip(self, service):
+        client, _, _ = service
+        client.analyze(source=VULN_SOURCE, label="traced")
+        key = AnalyzeJob(source=VULN_SOURCE, label="traced").key()
+        trace = client.trace(key)
+        assert trace["key"] == key
+        stages = [span["stage"] for span in trace["spans"]]
+        assert stages[0] == "submitted"
+        assert stages[-1] == "resolved"
+        assert key in client.traces()["keys"]
+
+    def test_trace_unknown_key_404(self, service):
+        client, _, _ = service
+        with pytest.raises(ServiceError) as excinfo:
+            client.trace("analyze-0000000000000000dead")
+        assert excinfo.value.status == 404
 
 
 class TestErrorHandling:

@@ -1,6 +1,5 @@
 """Tests for workload classes and the MiniC++ corpus metadata."""
 
-import pytest
 
 from repro.core import construct
 from repro.workloads import (
