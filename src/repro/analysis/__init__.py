@@ -8,12 +8,21 @@ documents.
 """
 
 from .ast_nodes import Program
+from .cache import (
+    analysis_cache_stats,
+    cached_report,
+    clear_analysis_caches,
+    parse_cached,
+    source_hash,
+)
 from .cfg import BasicBlock, ControlFlowGraph, build_cfg, placement_sites
 from .detector import DETECTOR_VERSION, PlacementNewDetector, analyze_source
 from .legacy_tools import (
     CLASSIC_RULES,
+    LEGACY_RULE_VERSION,
     LegacyRule,
     LegacyRuleScanner,
+    run_tool_suite,
     simulated_tool_suite,
 )
 from .lexer import Token, TokenKind, tokenize
@@ -29,6 +38,7 @@ __all__ = [
     "DETECTOR_VERSION",
     "ControlFlowGraph",
     "Finding",
+    "LEGACY_RULE_VERSION",
     "LegacyRule",
     "LegacyRuleScanner",
     "Parser",
@@ -38,13 +48,19 @@ __all__ = [
     "SymbolTable",
     "Token",
     "TokenKind",
+    "analysis_cache_stats",
     "analyze_source",
     "build_cfg",
+    "cached_report",
+    "clear_analysis_caches",
     "constant_int",
     "merge_reports",
     "parse",
+    "parse_cached",
     "placement_sites",
+    "run_tool_suite",
     "simulated_tool_suite",
+    "source_hash",
     "tokenize",
     "unparse_expr",
     "unparse_program",

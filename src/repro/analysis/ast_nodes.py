@@ -292,19 +292,33 @@ class Program(Node):
     globals: tuple = ()
     functions: tuple = ()
 
+    def _index(self, attr: str, decls: tuple) -> dict:
+        # Lazily built name->decl maps; the interprocedural inliner looks
+        # functions up per call site, so linear scans add up.  setdefault
+        # keeps the first declaration, matching the old linear scan.
+        # object.__setattr__ because Node is frozen; the map is derived
+        # state, invisible to eq/hash (which use fields only).
+        index = self.__dict__.get(attr)
+        if index is None:
+            index = {}
+            for decl in decls:
+                index.setdefault(decl.name, decl)
+            object.__setattr__(self, attr, index)
+        return index
+
     def function(self, name: str) -> FunctionDecl:
         """Look a function up by name."""
-        for fn in self.functions:
-            if fn.name == name:
-                return fn
-        raise KeyError(f"no function '{name}'")
+        try:
+            return self._index("_function_index", self.functions)[name]
+        except KeyError:
+            raise KeyError(f"no function '{name}'") from None
 
     def class_decl(self, name: str) -> ClassDecl:
         """Look a class up by name."""
-        for cls in self.classes:
-            if cls.name == name:
-                return cls
-        raise KeyError(f"no class '{name}'")
+        try:
+            return self._index("_class_index", self.classes)[name]
+        except KeyError:
+            raise KeyError(f"no class '{name}'") from None
 
 
 def walk_expressions(node: Union[Expr, Stmt, None]):
@@ -395,3 +409,17 @@ def walk_statements(stmt: Optional[Stmt]):
     yield stmt
     for child in _statement_children(stmt):
         yield from walk_statements(child)
+
+
+def iter_expressions(root: Optional[Stmt]):
+    """Yield every expression under ``root`` exactly once.
+
+    ``walk_statements`` × ``walk_expressions`` re-visits an expression
+    once per enclosing statement (``walk_expressions`` on a statement
+    recurses into its child statements too), which is quadratic in
+    nesting depth.  Pairing each statement with only its *own* top-level
+    expressions keeps the walk linear.
+    """
+    for stmt in walk_statements(root):
+        for top in _statement_expressions(stmt):
+            yield from walk_expressions(top)

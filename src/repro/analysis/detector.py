@@ -35,8 +35,8 @@ from dataclasses import dataclass
 from typing import Optional
 
 from . import ast_nodes as ast
+from .cache import cached_report
 from .dataflow import TOP, AbstractValue, Env, PointerTarget, root_name
-from .parser import parse
 from .reports import AnalysisReport, Finding, Severity
 from .symbols import SymbolTable
 
@@ -89,8 +89,18 @@ class PlacementNewDetector:
 
     @classmethod
     def analyze_source(cls, source: str) -> AnalysisReport:
-        """Parse and analyze source text."""
-        return cls(parse(source)).analyze()
+        """Parse and analyze source text.
+
+        Memoized on source content via :mod:`.cache`, keyed by the
+        concrete class and :data:`DETECTOR_VERSION`, so warm re-analysis
+        skips lex + parse + the abstract interpretation entirely.
+        """
+        return cached_report(
+            f"detector:{cls.__module__}.{cls.__qualname__}",
+            DETECTOR_VERSION,
+            source,
+            lambda program: cls(program).analyze(),
+        )
 
     def analyze(self) -> AnalysisReport:
         """Analyze every function and every class method with a body."""

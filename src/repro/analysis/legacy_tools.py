@@ -12,12 +12,17 @@ corpus shows the scanner itself is not a straw man.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable
 
 from . import ast_nodes as ast
-from .parser import parse
+from .cache import cached_report
 from .reports import AnalysisReport, Finding, Severity
+
+#: Revision of the classic rule set and matching semantics.  Bump on any
+#: change that can alter findings — the analysis report cache keys on it
+#: (same scheme as :data:`~.detector.DETECTOR_VERSION`).
+LEGACY_RULE_VERSION = "1"
 
 
 @dataclass(frozen=True)
@@ -94,8 +99,19 @@ class LegacyRuleScanner:
         self.rules = rules
 
     def scan_source(self, source: str) -> AnalysisReport:
-        """Parse and scan source text."""
-        return self.scan(parse(source))
+        """Parse and scan source text.
+
+        Memoized on source content via :mod:`.cache`, keyed by the
+        scanner's name and rule-id list so differently-tuned profiles
+        never share entries.
+        """
+        rule_ids = ",".join(rule.rule_id for rule in self.rules)
+        return cached_report(
+            f"legacy:{self.name}:{rule_ids}",
+            LEGACY_RULE_VERSION,
+            source,
+            self.scan,
+        )
 
     def scan(self, program: ast.Program) -> AnalysisReport:
         """Pattern-match every expression in every function and method."""
@@ -113,20 +129,22 @@ class LegacyRuleScanner:
     def _scan_block(
         self, block: ast.Block, function: str, report: AnalysisReport
     ) -> None:
-        for stmt in ast.walk_statements(block):
-            for expr in ast.walk_expressions(stmt):
-                for rule in self.rules:
-                    if rule.matcher(expr):
-                        report.add(
-                            Finding(
-                                rule=rule.rule_id,
-                                severity=rule.severity,
-                                message=rule.message,
-                                line=expr.line,
-                                function=function,
-                                tool=self.name,
-                            )
+        # iter_expressions visits each expression exactly once; the old
+        # walk_statements × walk_expressions pairing re-walked every
+        # nested statement's expressions at each enclosing level.
+        for expr in ast.iter_expressions(block):
+            for rule in self.rules:
+                if rule.matcher(expr):
+                    report.add(
+                        Finding(
+                            rule=rule.rule_id,
+                            severity=rule.severity,
+                            message=rule.message,
+                            line=expr.line,
+                            function=function,
+                            tool=self.name,
                         )
+                    )
 
 
 def simulated_tool_suite() -> tuple[LegacyRuleScanner, ...]:
@@ -145,3 +163,35 @@ def simulated_tool_suite() -> tuple[LegacyRuleScanner, ...]:
         name="legacy-grep", rules=(CLASSIC_RULES[0],)
     )
     return (strict, audit, unsafe_api_only)
+
+
+def run_tool_suite(source: str) -> tuple[tuple[str, AnalysisReport], ...]:
+    """Run the whole simulated suite with one parse and one AST walk.
+
+    Every suite profile's rules are drawn from the same pool, so instead
+    of scanning once per scanner, scan once with the union rule set and
+    *project* each profile's report by filtering the union findings on
+    that profile's rule ids (retagged with the profile's tool name).
+    Results are identical to calling ``scan_source`` per scanner.
+
+    Returns ``(scanner_name, report)`` pairs in suite order.
+    """
+    suite = simulated_tool_suite()
+    union_rules: list[LegacyRule] = []
+    seen_ids = set()
+    for scanner in suite:
+        for rule in scanner.rules:
+            if rule.rule_id not in seen_ids:
+                seen_ids.add(rule.rule_id)
+                union_rules.append(rule)
+    union = LegacyRuleScanner(name="legacy-union", rules=tuple(union_rules))
+    full = union.scan_source(source)
+    projected = []
+    for scanner in suite:
+        wanted = {rule.rule_id for rule in scanner.rules}
+        report = AnalysisReport(tool=scanner.name)
+        for finding in full.findings:
+            if finding.rule in wanted:
+                report.add(replace(finding, tool=scanner.name))
+        projected.append((scanner.name, report))
+    return tuple(projected)

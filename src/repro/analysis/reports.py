@@ -42,10 +42,17 @@ class AnalysisReport:
     tool: str
     findings: list = field(default_factory=list)
 
+    def __post_init__(self) -> None:
+        # Dedup index maintained alongside the list: rebuilding the key
+        # set on every add is quadratic over a report's lifetime.  Not a
+        # dataclass field, so eq/repr still compare tool + findings only.
+        self._seen = {(f.rule, f.line, f.function) for f in self.findings}
+
     def add(self, finding: Finding) -> None:
         """Append, deduplicating identical (rule, line, function) triples."""
         key = (finding.rule, finding.line, finding.function)
-        if key not in {(f.rule, f.line, f.function) for f in self.findings}:
+        if key not in self._seen:
+            self._seen.add(key)
             self.findings.append(finding)
 
     def rules_fired(self) -> frozenset:

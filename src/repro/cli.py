@@ -31,7 +31,7 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-from .analysis import analyze_source, simulated_tool_suite
+from .analysis import analyze_source, run_tool_suite
 from .attacks import ALL_ENVIRONMENTS, all_attacks, attack_by_name
 from .defenses import ALL_DEFENSES, evaluate_matrix
 from .workloads.corpus import FULL_CORPUS
@@ -177,8 +177,8 @@ def analyze_main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"── {name} ──")
         print(report.render())
         if args.legacy:
-            for tool in simulated_tool_suite():
-                print(tool.scan_source(source).render())
+            for _, legacy_report in run_tool_suite(source):
+                print(legacy_report.render())
         print()
     return 1 if any_flagged and args.files else 0
 

@@ -16,6 +16,7 @@ memory sanitizer hook in.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import Callable, Iterable, Optional
 
 from ..errors import ApiMisuseError, SegmentationFault
@@ -70,6 +71,7 @@ class AddressSpace:
                 Segment(kind=kind, base=base, size=size, permissions=permissions)
             )
         self._check_no_overlap()
+        self._rebuild_index()
 
     def _check_no_overlap(self) -> None:
         ordered = sorted(self._segments, key=lambda s: s.base)
@@ -81,30 +83,60 @@ class AddressSpace:
 
     # -- segment lookup ---------------------------------------------------
 
+    def _rebuild_index(self) -> None:
+        """Precompute the sorted lookup tables every access uses.
+
+        Must be called after any change to the segment list (segments
+        are immutable after construction today, so in practice this
+        runs once).  ``find_segment`` then costs one C-level bisect
+        instead of a linear scan of method calls.
+        """
+        ordered = tuple(sorted(self._segments, key=lambda s: s.base))
+        self._ordered: tuple[Segment, ...] = ordered
+        self._bases: list[int] = [seg.base for seg in ordered]
+        self._ends: list[int] = [seg.end for seg in ordered]
+        # Parallel views of each segment's backing store and permission
+        # bits: read/write then run as one Python frame over C-level
+        # bisect + slice operations, with the Segment methods kept as
+        # the slow path that raises the precise fault.
+        self._sizes: list[int] = [seg.size for seg in ordered]
+        self._datas: list[bytearray] = [seg._data for seg in ordered]
+        self._views: list[memoryview] = [seg._view for seg in ordered]
+        self._readable: list[bool] = [seg.permissions.read for seg in ordered]
+        self._writable: list[bool] = [seg.permissions.write for seg in ordered]
+        self._by_kind: dict[SegmentKind, Segment] = {}
+        for seg in ordered:
+            self._by_kind.setdefault(seg.kind, seg)
+        # Locality cache: most access sequences stay within one segment,
+        # so read/write try the last segment hit before bisecting.  Only
+        # ever set to a valid index (the layout always maps the five
+        # default kinds, so ordered is never empty).
+        self._last_index = 0
+
     @property
     def segments(self) -> Iterable[Segment]:
-        """The mapped segments, in address order."""
-        return tuple(sorted(self._segments, key=lambda s: s.base))
+        """The mapped segments, in address order (cached, never re-sorted)."""
+        return self._ordered
 
     def segment(self, kind: SegmentKind) -> Segment:
         """Return the (single) segment of ``kind``."""
-        for seg in self._segments:
-            if seg.kind is kind:
-                return seg
-        raise ApiMisuseError(f"no segment of kind {kind}")
+        try:
+            return self._by_kind[kind]
+        except KeyError:
+            raise ApiMisuseError(f"no segment of kind {kind}") from None
 
     def segment_at(self, address: int) -> Segment:
         """Return the segment mapping ``address`` or fault."""
-        for seg in self._segments:
-            if seg.contains(address):
-                return seg
-        raise SegmentationFault(address, "read", "address is unmapped")
+        seg = self.find_segment(address)
+        if seg is None:
+            raise SegmentationFault(address, "read", "address is unmapped")
+        return seg
 
     def find_segment(self, address: int) -> Optional[Segment]:
         """Like :meth:`segment_at` but returns None instead of faulting."""
-        for seg in self._segments:
-            if seg.contains(address):
-                return seg
+        i = bisect_right(self._bases, address) - 1
+        if i >= 0 and address < self._ends[i]:
+            return self._ordered[i]
         return None
 
     def is_mapped(self, address: int, length: int = 1) -> bool:
@@ -123,6 +155,8 @@ class AddressSpace:
         self._hooks.remove(hook)
 
     def _notify(self, address: int, data: bytes, is_write: bool) -> None:
+        # Callers guard with ``if self._hooks`` so the zero-observer hot
+        # path never pays for the call or the notification copy.
         for hook in self._hooks:
             hook(address, data, is_write)
 
@@ -137,29 +171,87 @@ class AddressSpace:
         """
         if length < 0:
             raise ApiMisuseError(f"negative read length {length}")
-        seg = self.find_segment(address)
-        if seg is None:
+        i = self._last_index
+        if not self._bases[i] <= address < self._ends[i]:
+            i = bisect_right(self._bases, address) - 1
+            if i < 0:
+                raise SegmentationFault(address, "read", "address is unmapped")
+            self._last_index = i
+        offset = address - self._bases[i]
+        stop = offset + length
+        if stop <= self._sizes[i] and self._readable[i]:
+            data = bytes(self._views[i][offset:stop])
+            for hook in self._hooks:
+                hook(address, data, False)
+            return data
+        if address >= self._ends[i]:
             raise SegmentationFault(address, "read", "address is unmapped")
-        data = seg.read(address, length)
-        self._notify(address, data, False)
-        return data
+        # Unreadable segment or a range straddling the segment end: the
+        # segment raises the precise fault.
+        return self._ordered[i].read(address, length)
 
     def write(self, address: int, data: bytes) -> None:
         """Write ``data`` starting at ``address`` (no bounds checking
         beyond segment limits — this is what makes overflows possible)."""
+        if not isinstance(data, bytes):
+            # Convert exactly once; the same object feeds the segment
+            # store and the hook notification.
+            data = bytes(data)
+        i = self._last_index
+        if not self._bases[i] <= address < self._ends[i]:
+            i = bisect_right(self._bases, address) - 1
+            if i < 0:
+                raise SegmentationFault(address, "write", "address is unmapped")
+            self._last_index = i
+        offset = address - self._bases[i]
+        stop = offset + len(data)
+        if stop <= self._sizes[i] and self._writable[i]:
+            self._datas[i][offset:stop] = data
+            for hook in self._hooks:
+                hook(address, data, True)
+            return
+        if address >= self._ends[i]:
+            raise SegmentationFault(address, "write", "address is unmapped")
+        # Unwritable segment or a straddling range: precise fault.
+        self._ordered[i].write(address, data)
+
+    def fill(self, address: int, length: int, byte: int = 0) -> None:
+        """memset: used by the sanitization defense (Section 5.1).
+
+        Delegates to the segment's slice-assignment fill; no
+        ``length``-sized buffer is built unless a hook needs the bytes.
+        """
         seg = self.find_segment(address)
         if seg is None:
             raise SegmentationFault(address, "write", "address is unmapped")
-        seg.write(address, bytes(data))
-        self._notify(address, bytes(data), True)
-
-    def fill(self, address: int, length: int, byte: int = 0) -> None:
-        """memset: used by the sanitization defense (Section 5.1)."""
-        self.write(address, bytes([byte]) * length)
+        seg.fill(address, length, byte)
+        if self._hooks:
+            self._notify(address, bytes((byte,)) * max(length, 0), True)
 
     def memmove(self, dest: int, src: int, length: int) -> None:
         """Copy ``length`` bytes from ``src`` to ``dest`` (overlap-safe)."""
-        self.write(dest, self.read(src, length))
+        if self._hooks:
+            # Observed path: one bulk read + one bulk write, both notified.
+            self.write(dest, self.read(src, length))
+            return
+        if length < 0:
+            raise ApiMisuseError(f"negative read length {length}")
+        src_seg = self.find_segment(src)
+        if src_seg is None:
+            raise SegmentationFault(src, "read", "address is unmapped")
+        if not src_seg.permissions.read:
+            raise SegmentationFault(src, "read", "segment is not readable")
+        src_off = src_seg._offset(src, length, "read")
+        dest_seg = self.find_segment(dest)
+        if dest_seg is None:
+            raise SegmentationFault(dest, "write", "address is unmapped")
+        if not dest_seg.permissions.write:
+            raise SegmentationFault(dest, "write", "segment is not writable")
+        dest_off = dest_seg._offset(dest, length, "write")
+        # The RHS slice is itself a copy, so overlapping ranges are safe.
+        dest_seg._data[dest_off : dest_off + length] = src_seg._data[
+            src_off : src_off + length
+        ]
 
     # -- typed access -------------------------------------------------------
 
@@ -202,16 +294,33 @@ class AddressSpace:
         self.write(address, encoding.encode_pointer(value))
 
     def read_c_string(self, address: int, max_length: int = 4096) -> str:
-        """Read a NUL-terminated string (capped at ``max_length`` bytes)."""
-        collected = bytearray()
-        cursor = address
-        while len(collected) < max_length:
-            byte = self.read(cursor, 1)[0]
-            if byte == 0:
-                break
-            collected.append(byte)
-            cursor += 1
-        return collected.decode("latin-1", errors="replace")
+        """Read a NUL-terminated string (capped at ``max_length`` bytes).
+
+        The terminator is located with one C-speed scan of the backing
+        segment instead of a hooked 1-byte read per character.  With
+        hooks registered, the whole scanned range (string plus
+        terminator, when found) is notified as a single read; a scan
+        that runs off the end of the segment faults at the segment end,
+        exactly where the per-byte loop used to.
+        """
+        seg = self.find_segment(address)
+        if seg is None:
+            raise SegmentationFault(address, "read", "address is unmapped")
+        if not seg.permissions.read:
+            raise SegmentationFault(address, "read", "segment is not readable")
+        if max_length <= 0:
+            return ""
+        span = min(max_length, seg.end - address)
+        nul = seg.find_byte(0, address, span)
+        if nul < 0 and span < max_length:
+            # No terminator before the segment ran out: the next 1-byte
+            # read would have landed one past the end.
+            raise SegmentationFault(seg.end, "read", "address is unmapped")
+        scanned = seg.read(address, span if nul < 0 else nul - address + 1)
+        if self._hooks:
+            self._notify(address, scanned, False)
+        text = scanned if nul < 0 else scanned[:-1]
+        return text.decode("latin-1", errors="replace")
 
     def write_c_string(self, address: int, text: str) -> None:
         """Write a NUL-terminated string."""

@@ -119,11 +119,13 @@ def encode_c_string(text: str, buffer_size: int | None = None) -> bytes:
         raise ApiMisuseError(f"negative buffer size {buffer_size}")
     if len(raw) >= buffer_size:
         return raw[:buffer_size]
-    return raw + b"\x00" * (buffer_size - len(raw))
+    return raw.ljust(buffer_size, b"\x00")
 
 
 def decode_c_string(data: bytes) -> str:
     """Decode bytes up to (not including) the first NUL."""
-    nul = bytes(data).find(b"\x00")
-    raw = bytes(data) if nul < 0 else bytes(data)[:nul]
+    raw = bytes(data)
+    nul = raw.find(0)
+    if nul >= 0:
+        raw = raw[:nul]
     return raw.decode("latin-1", errors="replace")

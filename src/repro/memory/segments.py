@@ -75,11 +75,17 @@ class Segment:
         if self.permissions is None:
             self.permissions = DEFAULT_PERMISSIONS[self.kind]
         self._data = bytearray(self.size)
-
-    @property
-    def end(self) -> int:
-        """One past the last mapped address."""
-        return self.base + self.size
+        # Persistent view: lets read() hand out bytes with a single copy
+        # instead of slice-copy + bytes()-copy.  Segments never resize,
+        # so keeping the buffer exported is safe.
+        self._view = memoryview(self._data)
+        # Hot-path precomputations.  Segment geometry and permissions are
+        # immutable after construction (NX variants are chosen at
+        # AddressSpace construction), so `end` and the permission bits
+        # can be plain attributes instead of per-access property chains.
+        self.end = self.base + self.size
+        self._readable = self.permissions.read
+        self._writable = self.permissions.write
 
     def contains(self, address: int, length: int = 1) -> bool:
         """True if ``[address, address+length)`` lies fully inside."""
@@ -94,23 +100,53 @@ class Segment:
 
     def read(self, address: int, length: int) -> bytes:
         """Read ``length`` bytes; faults if unreadable or out of range."""
-        if not self.permissions.read:
+        if not self._readable:
             raise SegmentationFault(address, "read", "segment is not readable")
-        offset = self._offset(address, length, "read")
-        return bytes(self._data[offset : offset + length])
+        offset = address - self.base
+        stop = offset + length
+        if offset < 0 or stop > self.size:
+            raise SegmentationFault(
+                address, "read", f"outside {self.kind.value} segment"
+            )
+        # One copy: slicing the memoryview is free, bytes() materializes.
+        return bytes(self._view[offset:stop])
 
     def write(self, address: int, data: bytes) -> None:
         """Write ``data``; faults if unwritable or out of range."""
-        if not self.permissions.write:
+        if not self._writable:
             raise SegmentationFault(address, "write", "segment is not writable")
-        offset = self._offset(address, len(data), "write")
-        self._data[offset : offset + len(data)] = data
+        offset = address - self.base
+        stop = offset + len(data)
+        if offset < 0 or stop > self.size:
+            raise SegmentationFault(
+                address, "write", f"outside {self.kind.value} segment"
+            )
+        self._data[offset:stop] = data
 
     def fill(self, address: int, length: int, byte: int = 0) -> None:
-        """memset-style fill, used by memory sanitization (Section 5.1)."""
+        """memset-style fill, used by memory sanitization (Section 5.1).
+
+        One slice assignment on the backing ``bytearray`` — large
+        sanitization fills must not build intermediate per-byte lists.
+        """
         if not 0 <= byte <= 0xFF:
             raise ApiMisuseError(f"fill byte out of range: {byte}")
-        self.write(address, bytes([byte]) * length)
+        if not self._writable:
+            raise SegmentationFault(address, "write", "segment is not writable")
+        offset = self._offset(address, max(length, 0), "write")
+        if length > 0:
+            self._data[offset : offset + length] = (
+                bytes(length) if byte == 0 else bytes((byte,)) * length
+            )
+
+    def find_byte(self, byte: int, address: int, span: int) -> int:
+        """Offset-free scan: the address of the first ``byte`` in
+        ``[address, address+span)``, or -1.  Bounds are the caller's
+        problem (the fast path has already checked them); the scan runs
+        at C speed on the backing ``bytearray``."""
+        offset = address - self.base
+        found = self._data.find(byte, offset, offset + span)
+        return -1 if found < 0 else self.base + found
 
     def snapshot(self) -> bytes:
         """Copy of the whole segment's contents (for forensics/diffs)."""

@@ -23,7 +23,7 @@ from typing import Callable, Optional
 
 from .faults import WORKER_FAULTS, FaultInjected, FaultKind, FaultPlan
 
-from ..analysis import AnalysisReport, Finding, Severity, analyze_source, simulated_tool_suite
+from ..analysis import AnalysisReport, Finding, Severity, analyze_source, run_tool_suite
 from ..attacks import all_attacks, attack_by_name, environment_by_label
 from ..attacks.base import AttackResult
 from ..defenses import ALL_DEFENSES, defense_by_name, evaluate_matrix
@@ -124,8 +124,8 @@ def run_analyze(payload: dict) -> dict:
     result = report_payload(report, label=payload.get("label", ""))
     if payload.get("legacy"):
         result["legacy"] = [
-            report_payload(tool.scan_source(payload["source"]))
-            for tool in simulated_tool_suite()
+            report_payload(legacy_report)
+            for _, legacy_report in run_tool_suite(payload["source"])
         ]
     return result
 
