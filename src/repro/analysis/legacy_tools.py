@@ -12,6 +12,7 @@ corpus shows the scanner itself is not a straw man.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, replace
 from typing import Callable
 
@@ -33,6 +34,28 @@ class LegacyRule:
     severity: Severity
     message: str
     matcher: Callable[[ast.Expr], bool]
+
+
+def _rule_fingerprint(rule: LegacyRule) -> str:
+    """Everything about a rule that can change its findings.
+
+    Two rules sharing a ``rule_id`` must not share cache entries when
+    their matcher, severity or message differ, so the matcher's identity
+    (qualified name plus any closure contents, e.g. the function-name
+    tuple inside a :func:`_call_named` matcher) is part of the print.
+    """
+    matcher = rule.matcher
+    ident = "{}.{}".format(
+        getattr(matcher, "__module__", "?"),
+        getattr(matcher, "__qualname__", None) or repr(matcher),
+    )
+    closure = getattr(matcher, "__closure__", None)
+    if closure:
+        try:
+            ident += repr(tuple(cell.cell_contents for cell in closure))
+        except ValueError:  # an unfilled cell: fall back to the name alone
+            pass
+    return f"{rule.rule_id}|{rule.severity.value}|{rule.message}|{ident}"
 
 
 def _call_named(*names: str) -> Callable[[ast.Expr], bool]:
@@ -102,12 +125,16 @@ class LegacyRuleScanner:
         """Parse and scan source text.
 
         Memoized on source content via :mod:`.cache`, keyed by the
-        scanner's name and rule-id list so differently-tuned profiles
-        never share entries.
+        scanner's name and a digest of the full rule contents
+        (ids, severities, messages, matcher identity) so
+        differently-tuned profiles — even ones reusing a rule_id with a
+        different matcher — never share entries.
         """
-        rule_ids = ",".join(rule.rule_id for rule in self.rules)
+        rule_sig = hashlib.sha256(
+            "\n".join(_rule_fingerprint(rule) for rule in self.rules).encode("utf-8")
+        ).hexdigest()[:16]
         return cached_report(
-            f"legacy:{self.name}:{rule_ids}",
+            f"legacy:{self.name}:{rule_sig}",
             LEGACY_RULE_VERSION,
             source,
             self.scan,

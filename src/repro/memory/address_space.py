@@ -174,7 +174,7 @@ class AddressSpace:
         i = self._last_index
         if not self._bases[i] <= address < self._ends[i]:
             i = bisect_right(self._bases, address) - 1
-            if i < 0:
+            if i < 0 or address >= self._ends[i]:
                 raise SegmentationFault(address, "read", "address is unmapped")
             self._last_index = i
         offset = address - self._bases[i]
@@ -184,8 +184,6 @@ class AddressSpace:
             for hook in self._hooks:
                 hook(address, data, False)
             return data
-        if address >= self._ends[i]:
-            raise SegmentationFault(address, "read", "address is unmapped")
         # Unreadable segment or a range straddling the segment end: the
         # segment raises the precise fault.
         return self._ordered[i].read(address, length)
@@ -200,7 +198,7 @@ class AddressSpace:
         i = self._last_index
         if not self._bases[i] <= address < self._ends[i]:
             i = bisect_right(self._bases, address) - 1
-            if i < 0:
+            if i < 0 or address >= self._ends[i]:
                 raise SegmentationFault(address, "write", "address is unmapped")
             self._last_index = i
         offset = address - self._bases[i]
@@ -210,8 +208,6 @@ class AddressSpace:
             for hook in self._hooks:
                 hook(address, data, True)
             return
-        if address >= self._ends[i]:
-            raise SegmentationFault(address, "write", "address is unmapped")
         # Unwritable segment or a straddling range: precise fault.
         self._ordered[i].write(address, data)
 
@@ -296,12 +292,16 @@ class AddressSpace:
     def read_c_string(self, address: int, max_length: int = 4096) -> str:
         """Read a NUL-terminated string (capped at ``max_length`` bytes).
 
-        The terminator is located with one C-speed scan of the backing
-        segment instead of a hooked 1-byte read per character.  With
-        hooks registered, the whole scanned range (string plus
-        terminator, when found) is notified as a single read; a scan
-        that runs off the end of the segment faults at the segment end,
-        exactly where the per-byte loop used to.
+        The terminator is located with one C-speed scan per backing
+        segment instead of a hooked 1-byte read per character.  A string
+        that runs off the end of one segment continues into an adjacent
+        mapped segment (in DEFAULT_LAYOUT text/data/bss are contiguous,
+        and data overflowing into bss is exactly the scenario the paper
+        reproduces), faulting only where the next byte really is
+        unmapped or unreadable — the same addresses the per-byte loop
+        faulted on.  With hooks registered, the whole scanned range
+        (string plus terminator, when found) is notified as a single
+        read.
         """
         seg = self.find_segment(address)
         if seg is None:
@@ -310,13 +310,30 @@ class AddressSpace:
             raise SegmentationFault(address, "read", "segment is not readable")
         if max_length <= 0:
             return ""
-        span = min(max_length, seg.end - address)
-        nul = seg.find_byte(0, address, span)
-        if nul < 0 and span < max_length:
-            # No terminator before the segment ran out: the next 1-byte
-            # read would have landed one past the end.
-            raise SegmentationFault(seg.end, "read", "address is unmapped")
-        scanned = seg.read(address, span if nul < 0 else nul - address + 1)
+        chunks: list[bytes] = []
+        cursor = address
+        remaining = max_length
+        nul = -1
+        while True:
+            span = min(remaining, seg.end - cursor)
+            nul = seg.find_byte(0, cursor, span)
+            if nul >= 0:
+                chunks.append(seg.read(cursor, nul - cursor + 1))
+                break
+            chunks.append(seg.read(cursor, span))
+            remaining -= span
+            if remaining == 0:
+                break
+            # No terminator before this segment ran out: the next
+            # 1-byte read lands at seg.end, which may be the base of
+            # an adjacent segment.
+            cursor = seg.end
+            seg = self.find_segment(cursor)
+            if seg is None:
+                raise SegmentationFault(cursor, "read", "address is unmapped")
+            if not seg.permissions.read:
+                raise SegmentationFault(cursor, "read", "segment is not readable")
+        scanned = chunks[0] if len(chunks) == 1 else b"".join(chunks)
         if self._hooks:
             self._notify(address, scanned, False)
         text = scanned if nul < 0 else scanned[:-1]

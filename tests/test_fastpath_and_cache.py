@@ -20,7 +20,7 @@ from repro.analysis import (
 )
 from repro.analysis.reports import AnalysisReport, Finding, Severity
 from repro.errors import ApiMisuseError, SegmentationFault
-from repro.memory import AddressSpace, SegmentKind
+from repro.memory import AddressSpace, Permissions, SegmentKind
 
 
 @pytest.fixture
@@ -126,6 +126,23 @@ class TestBisectLookupEdges:
             with pytest.raises(SegmentationFault, match="unmapped"):
                 space.write(gap, b"x")
 
+    def test_zero_length_access_at_one_past_end_faults(self, space):
+        """A 0-byte access at an unmapped address is still a fault —
+        `read(end, 0)` must not sneak through the fast path."""
+        heap = space.segment(SegmentKind.HEAP)
+        with pytest.raises(SegmentationFault, match="unmapped"):
+            space.read(heap.end, 0)
+        with pytest.raises(SegmentationFault, match="unmapped"):
+            space.write(heap.end, b"")
+        stack = space.segment(SegmentKind.STACK)
+        with pytest.raises(SegmentationFault, match="unmapped"):
+            space.read(stack.end, 0)
+
+    def test_zero_length_access_inside_segment_is_fine(self, space):
+        heap = space.segment(SegmentKind.HEAP)
+        assert space.read(heap.base, 0) == b""
+        space.write(heap.end - 1, b"")  # no fault
+
 
 class TestHookTrafficOnFastPath:
     def test_bytearray_write_notifies_bytes_once(self, space):
@@ -196,6 +213,48 @@ class TestReadCStringEdges:
         space.write(start, b"abc\x00")
         assert space.read_c_string(start) == "abc"
 
+    def test_string_straddling_adjacent_segments(self, space):
+        """data and bss are contiguous in DEFAULT_LAYOUT: a string
+        overflowing data must read through into bss, exactly as the old
+        per-byte loop did (this is the paper's data→bss overflow
+        scenario)."""
+        data = space.segment(SegmentKind.DATA)
+        bss = space.segment(SegmentKind.BSS)
+        assert data.end == bss.base  # layout precondition
+        space.write(data.end - 3, b"ABC")
+        space.write(bss.base, b"DE\x00")
+        assert space.read_c_string(data.end - 3) == "ABCDE"
+
+    def test_straddling_string_notifies_whole_range_once(self, space):
+        data = space.segment(SegmentKind.DATA)
+        bss = space.segment(SegmentKind.BSS)
+        space.write(data.end - 3, b"ABC")
+        space.write(bss.base, b"DE\x00")
+        events = []
+        space.add_access_hook(lambda a, d, w: events.append((a, d, w)))
+        space.read_c_string(data.end - 3)
+        assert events == [(data.end - 3, b"ABCDE\x00", False)]
+
+    def test_straddling_string_respects_max_length(self, space):
+        data = space.segment(SegmentKind.DATA)
+        bss = space.segment(SegmentKind.BSS)
+        space.write(data.end - 2, b"AB")
+        space.write(bss.base, b"CDEF\x00")
+        assert space.read_c_string(data.end - 2, max_length=4) == "ABCD"
+
+    def test_string_into_unreadable_next_segment_faults_at_boundary(self):
+        space = AddressSpace()
+        # Make bss unreadable so the data→bss crossing must fault.
+        bss = space.segment(SegmentKind.BSS)
+        bss.permissions = Permissions(read=False, write=True, execute=False)
+        bss._readable = False
+        space._rebuild_index()
+        data = space.segment(SegmentKind.DATA)
+        space.write(data.end - 4, b"\x41" * 4)
+        with pytest.raises(SegmentationFault, match="not readable") as info:
+            space.read_c_string(data.end - 4)
+        assert info.value.address == data.end
+
 
 class TestAnalysisCaches:
     def test_warm_equals_cold(self):
@@ -265,6 +324,43 @@ class TestAnalysisCaches:
                 finding.tool == scanner.name
                 for finding in projected[scanner.name].findings
             )
+
+    def test_same_name_same_rule_id_different_matcher_not_shared(self):
+        """Two scanners may not share cache entries just because their
+        names and rule ids collide — the matcher is part of the key."""
+        from repro.analysis.legacy_tools import CLASSIC_RULES, LegacyRule, LegacyRuleScanner
+
+        classic = LegacyRuleScanner(name="clone", rules=(CLASSIC_RULES[0],))
+        reuses_id = LegacyRuleScanner(
+            name="clone",
+            rules=(
+                LegacyRule(
+                    rule_id=CLASSIC_RULES[0].rule_id,
+                    severity=Severity.WARNING,
+                    message="flag every printf",
+                    matcher=lambda expr: getattr(expr, "func", None) == "printf",
+                ),
+            ),
+        )
+        first = classic.scan_source(LEGACY_SOURCE)
+        second = reuses_id.scan_source(LEGACY_SOURCE)
+        assert {f.line for f in first.findings} == {5}  # the strcpy call
+        assert {f.line for f in second.findings} == {6}  # the printf call
+
+    def test_identical_rule_tuples_still_share_cache(self):
+        """The content-keyed fingerprint must not defeat caching for
+        scanners built fresh with equal rules (simulated_tool_suite
+        builds new tuples per call)."""
+        from repro.analysis.legacy_tools import CLASSIC_RULES, LegacyRuleScanner
+
+        LegacyRuleScanner(name="twin", rules=tuple(CLASSIC_RULES)).scan_source(
+            LEGACY_SOURCE
+        )
+        before = analysis_cache_stats()["reports"]["hits"]
+        LegacyRuleScanner(name="twin", rules=tuple(CLASSIC_RULES)).scan_source(
+            LEGACY_SOURCE
+        )
+        assert analysis_cache_stats()["reports"]["hits"] == before + 1
 
     def test_report_dedup_with_preloaded_findings(self):
         finding = Finding(
