@@ -14,10 +14,14 @@ rule                   severity  fires when
                                  oversize placement (``cin >> st->ssn[i]``)
 ``PN-TAINTED-COPY-     error     same, inside a loop whose bound is tainted
 LOOP``                           (the Listing 6 copy loop)
+``PN-TYPE-CONFUSION``  error     a placement/heap allocation bound to a
+                                 pointer of a *larger* type — well-typed
+                                 member writes land past the allocation
 ``PN-VPTR-RISK``       warning   oversize placement involving polymorphic
                                  classes (vtable-subterfuge exposure)
 ``PN-NO-SANITIZE``     warning   a reused, never-sanitized arena flows to an
-                                 output sink (information leak)
+                                 output sink (information leak); a partial
+                                 ``memset`` does not clear this
 ``PN-LEAK``            warning   an undersized placement's heap arena pointer
                                  is dropped without delete (Listing 23)
 ``PN-UNKNOWN-ARENA``   info      the arena's extent cannot be determined —
@@ -43,7 +47,7 @@ from .symbols import SymbolTable
 #: Revision of the detector's rule set and dataflow semantics.  Bump on
 #: any change that can alter findings — the service result cache keys on
 #: it, so stale cached analyses are invalidated automatically.
-DETECTOR_VERSION = "1"
+DETECTOR_VERSION = "2"
 
 #: Calls treated as output sinks (exfiltration points for leak residue).
 SINK_CALLS = {"store", "send", "printf", "write", "log", "serialize", "transmit"}
@@ -208,6 +212,8 @@ class PlacementNewDetector:
             self._check_leak_on_overwrite(stmt.name, stmt.line)
         env.set(stmt.name, value)
         self._propagate_exposure(stmt.name, value)
+        if stmt.init is not None:
+            self._check_type_confusion(stmt.name, stmt.type, value, stmt.line)
 
     def _exec_assign(self, stmt: ast.Assign, env: Env) -> None:
         value = self._eval(stmt.value, env)
@@ -225,6 +231,9 @@ class PlacementNewDetector:
                 ),
             )
             self._propagate_exposure(stmt.target.ident, value)
+            self._check_type_confusion(
+                stmt.target.ident, declared, value, stmt.line
+            )
             return
         # Write through a member/element/deref lvalue.
         if value.tainted and target_root is not None:
@@ -346,6 +355,44 @@ class PlacementNewDetector:
                 and target.var_name in self._reused_unsanitized
             ):
                 self._reused_unsanitized[name] = target.placement_line
+
+    def _check_type_confusion(
+        self,
+        name: str,
+        declared: Optional[ast.TypeRef],
+        value: AbstractValue,
+        line: int,
+    ) -> None:
+        """Binding an allocation to a pointer of a *larger* type re-opens
+        the overflow even when the placement itself fits: every
+        well-typed member write through the pointer can land past the
+        allocation (``GradStudent* gs = new (&stud) Student()``)."""
+        if declared is None or not declared.is_pointer:
+            return
+        pointee_size = (
+            4  # pointee is itself a pointer
+            if declared.pointer_depth > 1
+            else self.symbols.sizeof_name(declared.name)
+        )
+        if pointee_size is None:
+            return
+        for target in value.targets:
+            if target.kind not in ("placement", "heap"):
+                continue
+            if target.size is not None and target.size < pointee_size:
+                self._emit(
+                    "PN-TYPE-CONFUSION",
+                    Severity.ERROR,
+                    (
+                        f"pointer '{name}' of type {declared.name}* "
+                        f"({pointee_size}-byte pointee) binds a "
+                        f"{target.size}-byte allocation of "
+                        f"{target.type_name}; well-typed member writes "
+                        "reach past the allocation"
+                    ),
+                    line,
+                )
+                return
 
     def _check_sink_value(self, expr: ast.Expr, env: Env, line: int) -> None:
         name = root_name(expr)
@@ -519,7 +566,7 @@ class PlacementNewDetector:
             return AbstractValue()
         if expr.func in SANITIZE_CALLS and expr.args:
             name = root_name(expr.args[0])
-            if name is not None:
+            if name is not None and self._sanitize_covers(expr, arg_values, env):
                 self._arena_states.setdefault(name, _ArenaState()).filled = False
                 self._reused_unsanitized.pop(name, None)
             return AbstractValue()
@@ -546,6 +593,28 @@ class PlacementNewDetector:
         for value in arg_values:
             taint |= value.taint
         return AbstractValue(taint=taint)
+
+    def _sanitize_covers(
+        self, expr: ast.Call, arg_values: list, env: Env
+    ) -> bool:
+        """memset/bzero wipe an arena only when the length provably
+        covers the buffer; a partial wipe leaves the upper bytes live."""
+        length_index = 1 if expr.func in ("bzero", "explicit_bzero") else 2
+        if len(arg_values) <= length_index:
+            return True
+        length = arg_values[length_index].const_int
+        if length is None:
+            return True  # unknown length keeps the classic full-wipe reading
+        value = env.get(root_name(expr.args[0]))
+        buffer_size = (
+            self.symbols.sizeof_type_ref(value.declared)
+            if value.declared is not None and not value.declared.is_pointer
+            else None
+        )
+        if buffer_size is None:
+            sizes = [t.size for t in value.targets if t.size is not None]
+            buffer_size = min(sizes) if sizes else None
+        return buffer_size is None or length >= buffer_size
 
     def _try_inline(
         self, expr: ast.Call, arg_values: list

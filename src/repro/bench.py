@@ -105,13 +105,18 @@ def summarize(raw: dict) -> dict:
     for bench in raw.get("benchmarks", ()):
         stats = bench.get("stats", {})
         mean = stats.get("mean")
-        rows[bench["name"]] = {
+        row = {
             "mean_s": mean,
             "min_s": stats.get("min"),
             "stddev_s": stats.get("stddev"),
             "ops_per_s": round(1.0 / mean, 4) if mean else None,
             "rounds": stats.get("rounds"),
         }
+        # Domain metrics benchmarks attach (e.g. E22's execs_per_s /
+        # divergence_rate) ride along into the trajectory file.
+        if bench.get("extra_info"):
+            row["extra_info"] = dict(bench["extra_info"])
+        rows[bench["name"]] = row
     return rows
 
 

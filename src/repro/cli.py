@@ -20,7 +20,14 @@
     ``/analyze``, ``/attacks``, ``/matrix``, ``/exec``, ``/metrics``,
     and ``/healthz`` (see docs/SERVICE.md).
 
-All four front ends exit with status 2 on bad input (missing files,
+``repro-fuzz``
+    Drive coverage-guided differential fuzzing campaigns (static
+    detector vs. dynamic simulator): ``run`` executes a deterministic
+    campaign and writes the report, ``report`` re-renders a saved
+    report, ``triage`` records a human triage note on a divergence, and
+    ``minimize`` shrinks one reproducer (see docs/FUZZING.md).
+
+All five front ends exit with status 2 on bad input (missing files,
 unknown attack/environment names, malformed arguments), so scripts and
 service workers can tell usage errors from real findings.
 """
@@ -365,6 +372,273 @@ def serve_main(argv: Optional[Sequence[str]] = None) -> int:
         server.server_close()
         engine.close()
     return 0
+
+
+def _load_report(path: str):
+    """A saved campaign report, or an exit code on bad input."""
+    import json
+
+    from .fuzz import CampaignReport
+
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+    except OSError as error:
+        return None, _fail(f"cannot read {path}: {error.strerror or error}")
+    except ValueError as error:
+        return None, _fail(f"{path} is not a report: {error}")
+    return CampaignReport.from_dict(data), None
+
+
+def _fuzz_run(args) -> int:
+    from .fuzz import FuzzConfig, run_campaign
+
+    config = FuzzConfig(
+        seed=args.seed,
+        iterations=args.iterations,
+        step_budget=args.step_budget,
+        canary=not args.no_canary,
+        minimize=not args.no_minimize,
+        max_corpus=args.max_corpus,
+    )
+    if args.jobs > 0:
+        from .service import ServiceEngine
+
+        with ServiceEngine(
+            workers=args.jobs, backend=args.backend, use_cache=False
+        ) as engine:
+            report = run_campaign(
+                config,
+                engine=engine,
+                batch_size=args.batch_size,
+                batch_timeout=args.batch_timeout,
+            )
+    else:
+        report = run_campaign(config)
+    if args.out:
+        try:
+            with open(args.out, "w") as handle:
+                handle.write(report.to_json())
+        except OSError as error:
+            return _fail(f"cannot write {args.out}: {error.strerror or error}")
+    if args.json:
+        print(report.to_json(), end="")
+    else:
+        print(report.render())
+    if args.fail_on_untriaged and report.untriaged:
+        print(
+            f"FAIL: {len(report.untriaged)} un-triaged divergence(s); "
+            "triage with 'repro-fuzz triage' or fix the oracle gap",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _fuzz_report(args) -> int:
+    report, error = _load_report(args.report)
+    if report is None:
+        return error
+    if args.json:
+        print(report.to_json(), end="")
+    else:
+        print(report.render())
+    return 1 if args.fail_on_untriaged and report.untriaged else 0
+
+
+def _fuzz_triage(args) -> int:
+    import dataclasses
+
+    report, error = _load_report(args.report)
+    if report is None:
+        return error
+    if not args.fingerprint:  # list mode
+        for div in report.sorted_divergences():
+            status = "known-benign" if div.triage else "OPEN"
+            print(f"{div.fingerprint}  [{status}]  {div.kind}")
+        return 0
+    if not args.note:
+        return _fail("--note is required when marking a fingerprint")
+    matched = False
+    for index, div in enumerate(report.divergences):
+        if div.fingerprint == args.fingerprint:
+            report.divergences[index] = dataclasses.replace(
+                div, triage=f"manual: {args.note}"
+            )
+            matched = True
+    if not matched:
+        return _fail(f"no divergence with fingerprint '{args.fingerprint}'")
+    try:
+        with open(args.report, "w") as handle:
+            handle.write(report.to_json())
+    except OSError as error:
+        return _fail(f"cannot write {args.report}: {error.strerror or error}")
+    print(f"marked {args.fingerprint} known-benign (manual: {args.note})")
+    return 0
+
+
+def _fuzz_minimize(args) -> int:
+    from .fuzz import (
+        FuzzInput,
+        divergence_from,
+        fingerprint_of,
+        minimize_input,
+        normalized_events,
+        run_oracles,
+    )
+
+    try:
+        with open(args.file) as handle:
+            source = handle.read()
+    except OSError as error:
+        return _fail(f"cannot read {args.file}: {error.strerror or error}")
+    stdin: tuple = ()
+    if args.stdin:
+        try:
+            stdin = tuple(int(token, 0) for token in args.stdin.split(","))
+        except ValueError as error:
+            return _fail(f"bad --stdin token: {error}")
+    fuzz_input = FuzzInput(source=source, stdin=stdin)
+    observation = run_oracles(source, stdin)
+    div = divergence_from(observation, fuzz_input)
+    if div is None:
+        verdict = "invalid run" if not observation.valid else "oracles agree"
+        print(f"no divergence to minimize: {verdict}")
+        return 1
+
+    def same(candidate):
+        obs = run_oracles(candidate.source, candidate.stdin)
+        return obs.divergence_kind == div.kind and (
+            fingerprint_of(
+                div.kind, obs.static.rules, normalized_events(obs.dynamic.events)
+            )
+            == div.fingerprint
+        )
+
+    smallest = minimize_input(fuzz_input, same)
+    print(f"divergence {div.fingerprint} ({div.kind})")
+    print(f"static rules: {', '.join(div.static_rules) or '-'}")
+    print(f"dynamic events: {', '.join(div.dynamic_events) or '-'}")
+    print("minimized source:")
+    print(smallest.source)
+    if smallest.stdin:
+        print(f"minimized stdin: {','.join(str(t) for t in smallest.stdin)}")
+    return 0
+
+
+def fuzz_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``repro-fuzz``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-fuzz",
+        description="Coverage-guided differential fuzzing: static detector "
+        "vs. dynamic simulator oracle",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="run one deterministic campaign")
+    run_parser.add_argument("--seed", type=int, default=1, help="campaign seed")
+    run_parser.add_argument(
+        "--iterations",
+        type=int,
+        default=200,
+        help="mutation iterations beyond the seed set (default: 200)",
+    )
+    run_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=4,
+        metavar="N",
+        help="fan batches out over N service workers; 0 = in-process "
+        "sequential (default: 4)",
+    )
+    run_parser.add_argument(
+        "--backend",
+        choices=("thread", "process"),
+        default="thread",
+        help="service worker backend (default: thread)",
+    )
+    run_parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=50,
+        help="iterations per service batch (default: 50)",
+    )
+    run_parser.add_argument(
+        "--batch-timeout",
+        type=float,
+        default=120.0,
+        help="per-batch job timeout in seconds (default: 120)",
+    )
+    run_parser.add_argument(
+        "--step-budget",
+        type=int,
+        default=50_000,
+        help="interpreter step budget per execution (default: 50000)",
+    )
+    run_parser.add_argument(
+        "--max-corpus",
+        type=int,
+        default=256,
+        help="live corpus size cap (default: 256)",
+    )
+    run_parser.add_argument(
+        "--no-canary",
+        action="store_true",
+        help="run the dynamic oracle without the stack canary",
+    )
+    run_parser.add_argument(
+        "--no-minimize",
+        action="store_true",
+        help="skip divergence minimization (faster campaigns)",
+    )
+    run_parser.add_argument("--out", help="write the JSON report to this file")
+    run_parser.add_argument(
+        "--json", action="store_true", help="print the JSON report to stdout"
+    )
+    run_parser.add_argument(
+        "--fail-on-untriaged",
+        action="store_true",
+        help="exit 1 if any divergence lacks a triage label (CI gate)",
+    )
+    run_parser.set_defaults(func=_fuzz_run)
+
+    report_parser = sub.add_parser("report", help="render a saved report")
+    report_parser.add_argument("report", help="campaign report JSON file")
+    report_parser.add_argument(
+        "--json", action="store_true", help="re-emit canonical JSON"
+    )
+    report_parser.add_argument(
+        "--fail-on-untriaged",
+        action="store_true",
+        help="exit 1 if any divergence lacks a triage label",
+    )
+    report_parser.set_defaults(func=_fuzz_report)
+
+    triage_parser = sub.add_parser(
+        "triage", help="list divergences or mark one known-benign"
+    )
+    triage_parser.add_argument("report", help="campaign report JSON file")
+    triage_parser.add_argument(
+        "--fingerprint", help="divergence fingerprint to mark (omit to list)"
+    )
+    triage_parser.add_argument(
+        "--note", help="why this divergence is benign (recorded in the report)"
+    )
+    triage_parser.set_defaults(func=_fuzz_triage)
+
+    minimize_parser = sub.add_parser(
+        "minimize", help="shrink one diverging source file"
+    )
+    minimize_parser.add_argument("file", help="MiniC++ source file")
+    minimize_parser.add_argument(
+        "--stdin", default="", help="comma-separated integer tokens for cin"
+    )
+    minimize_parser.set_defaults(func=_fuzz_minimize)
+
+    args = parser.parse_args(argv)
+    if getattr(args, "jobs", 0) < 0:
+        return _fail("--jobs must be >= 0")
+    return args.func(args)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual entry

@@ -890,7 +890,10 @@ class Interpreter:
         layout = self.machine.layouts.layout_of(class_def)
         if layout.has_vptr:
             table = self.machine.vtables.ensure(class_def)
+            tap = self.machine.event_tap
             for vptr_offset in layout.vptr_offsets:
+                if tap is not None:
+                    tap.vptr_installed(address + vptr_offset, table.address)
                 self.machine.space.write_pointer(
                     address + vptr_offset, table.address
                 )

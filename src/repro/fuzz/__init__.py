@@ -1,0 +1,72 @@
+"""repro.fuzz: coverage-guided differential fuzzing campaigns.
+
+Generates and mutates MiniC++ programs, runs each through both the
+static placement-new detector and the dynamic interpreter + simulated
+address space, and treats *disagreement between the two oracles* as the
+signal.  Coverage feedback (detector rule ids ∪ simulator event kinds)
+decides which mutants join the live corpus; divergences are minimized,
+fingerprinted, auto-triaged, and written to a deterministic campaign
+report.  See docs/FUZZING.md for the campaign lifecycle.
+"""
+
+from .campaign import (
+    DifferentialFuzzer,
+    FuzzConfig,
+    batch_rng,
+    run_batch,
+    run_campaign,
+)
+from .coverage import CoverageMap, coverage_keys
+from .divergence import (
+    TRIAGE_RULES,
+    Divergence,
+    auto_triage,
+    divergence_from,
+    fingerprint_of,
+    normalized_events,
+)
+from .minimize import minimize_input
+from .mutator import mutate
+from .oracles import (
+    VULNERABLE_EVENTS,
+    DynamicVerdict,
+    Observation,
+    OracleConfig,
+    StaticVerdict,
+    dynamic_verdict,
+    run_oracles,
+    static_verdict,
+)
+from .report import CampaignReport
+from .seeds import FuzzInput, corpus_seeds, generator_seeds, seed_inputs
+
+__all__ = [
+    "CampaignReport",
+    "CoverageMap",
+    "DifferentialFuzzer",
+    "Divergence",
+    "DynamicVerdict",
+    "FuzzConfig",
+    "FuzzInput",
+    "Observation",
+    "OracleConfig",
+    "StaticVerdict",
+    "TRIAGE_RULES",
+    "VULNERABLE_EVENTS",
+    "auto_triage",
+    "batch_rng",
+    "corpus_seeds",
+    "coverage_keys",
+    "divergence_from",
+    "dynamic_verdict",
+    "fingerprint_of",
+    "generator_seeds",
+    "minimize_input",
+    "mutate",
+    "normalized_events",
+    "run_batch",
+    "run_campaign",
+    "run_oracles",
+    "seed_inputs",
+    "static_verdict",
+]

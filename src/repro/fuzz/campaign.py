@@ -1,0 +1,331 @@
+"""Campaign orchestration: the coverage-guided differential fuzz loop.
+
+:class:`DifferentialFuzzer` is the single-threaded core — seed, pick,
+mutate, run both oracles, promote on new coverage, dedup divergences.
+:func:`run_batch` is the same loop packaged as a service-worker payload
+(one *batch* of iterations against a corpus/coverage snapshot), and
+:func:`run_campaign` drives whole campaigns either sequentially or as
+rounds of :class:`~repro.service.jobs.FuzzCampaignJob` batches fanned
+out over a :class:`~repro.service.ServiceEngine` worker pool, with
+per-batch timeouts and deterministic in-order merging — the report is
+byte-identical across runs for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+
+from .coverage import CoverageMap, coverage_keys
+from .divergence import (
+    Divergence,
+    auto_triage,
+    divergence_from,
+    fingerprint_of,
+    normalized_events,
+)
+from .minimize import minimize_input
+from .mutator import mutate
+from .oracles import DEFAULT_STEP_BUDGET, OracleConfig, run_oracles
+from .report import CampaignReport
+from .seeds import FuzzInput, seed_inputs
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """Deterministic knobs for one campaign."""
+
+    seed: int = 1
+    iterations: int = 200
+    step_budget: int = DEFAULT_STEP_BUDGET
+    canary: bool = True
+    minimize: bool = True
+    max_corpus: int = 256
+
+    def oracle_config(self) -> OracleConfig:
+        return OracleConfig(step_budget=self.step_budget, canary=self.canary)
+
+
+class DifferentialFuzzer:
+    """The sequential fuzzing core; every data structure is
+    deterministic for a fixed seed and iteration count."""
+
+    def __init__(self, config: FuzzConfig, metrics=None) -> None:
+        self.config = config
+        self.metrics = metrics
+        self.coverage = CoverageMap()
+        self.corpus: list = []
+        self.promoted: list = []  # inputs promoted *this* session
+        self.divergences: dict = {}  # fingerprint → Divergence
+        self.families: dict = {}  # family → {"static","dynamic"} reach
+        self.execs = 0
+        self.invalid = 0
+        self.discarded = 0
+        self.seeds = 0
+        self.batches_failed = 0
+        self._seen: set = set()
+        self._oracle_config = config.oracle_config()
+
+    # -- corpus ------------------------------------------------------------
+
+    def add_corpus(self, fuzz_input: FuzzInput) -> bool:
+        """Add an input as mutation material (dedup by content)."""
+        key = fuzz_input.key()
+        if key in self._seen or len(self.corpus) >= self.config.max_corpus:
+            return False
+        self._seen.add(key)
+        self.corpus.append(fuzz_input)
+        return True
+
+    # -- the loop ----------------------------------------------------------
+
+    def observe(self, fuzz_input: FuzzInput, promote: bool = True):
+        """Run both oracles over one input and fold in the outcome."""
+        observation = run_oracles(
+            fuzz_input.source, fuzz_input.stdin, self._oracle_config
+        )
+        self.execs += 1
+        if self.metrics is not None:
+            self.metrics.counter("fuzz.execs_total").inc()
+        if fuzz_input.label == "vulnerable":
+            reach = self.families.setdefault(
+                fuzz_input.family, {"static": False, "dynamic": False}
+            )
+            reach["static"] = reach["static"] or observation.static.vulnerable
+            reach["dynamic"] = reach["dynamic"] or (
+                observation.valid and observation.dynamic.vulnerable
+            )
+        if not observation.valid:
+            self.invalid += 1
+            return observation
+        fresh = self.coverage.observe(coverage_keys(observation))
+        if fresh and promote and self.add_corpus(fuzz_input):
+            self.promoted.append(fuzz_input)
+        div = divergence_from(observation, fuzz_input)
+        if div is not None:
+            known = self.divergences.get(div.fingerprint)
+            if known is None:
+                self.divergences[div.fingerprint] = div
+                if self.metrics is not None:
+                    self.metrics.counter("fuzz.divergences_total").inc()
+            else:
+                known.occurrences += 1
+        return observation
+
+    def run_seeds(self) -> None:
+        """Evaluate and enroll the deterministic seed set."""
+        for fuzz_input in seed_inputs(self.config.seed):
+            self.add_corpus(fuzz_input)
+            self.observe(fuzz_input, promote=False)
+            self.seeds += 1
+
+    def fuzz(self, rng: random.Random, iterations: int) -> None:
+        """``iterations`` mutate-and-observe steps over the live corpus."""
+        for _ in range(iterations):
+            parent = self.corpus[rng.randrange(len(self.corpus))]
+            mutant = mutate(rng, parent)
+            if mutant is None or mutant.key() in self._seen:
+                self.discarded += 1
+                continue
+            self._seen.add(mutant.key())
+            self.observe(mutant)
+
+    # -- wrap-up -----------------------------------------------------------
+
+    def _same_divergence(self, div):
+        """Predicate used by the minimizer: same fingerprint survives."""
+
+        def predicate(candidate: FuzzInput) -> bool:
+            observation = run_oracles(
+                candidate.source, candidate.stdin, self._oracle_config
+            )
+            kind = observation.divergence_kind
+            if kind != div.kind:
+                return False
+            return (
+                fingerprint_of(
+                    kind,
+                    observation.static.rules,
+                    normalized_events(observation.dynamic.events),
+                )
+                == div.fingerprint
+            )
+
+        return predicate
+
+    def finalize(self) -> CampaignReport:
+        """Minimize, auto-triage, and assemble the campaign report."""
+        finished = []
+        for fingerprint in sorted(self.divergences):
+            div = self.divergences[fingerprint]
+            if self.config.minimize:
+                smallest = minimize_input(
+                    FuzzInput(source=div.source, stdin=div.stdin),
+                    self._same_divergence(div),
+                )
+                div = replace(
+                    div,
+                    minimized_source=smallest.source,
+                    minimized_stdin=smallest.stdin,
+                )
+            finished.append(auto_triage(div))
+        if self.metrics is not None:
+            self.metrics.gauge("fuzz.coverage_size").set(len(self.coverage))
+            self.metrics.gauge("fuzz.corpus_size").set(len(self.corpus))
+        report = CampaignReport(
+            seed=self.config.seed,
+            iterations=self.config.iterations,
+            execs=self.execs,
+            invalid=self.invalid,
+            seeds=self.seeds,
+            mutants_discarded=self.discarded,
+            corpus_size=len(self.corpus),
+            coverage=self.coverage.sorted_keys(),
+            families=self.families,
+        )
+        report.divergences = finished
+        report.batches_failed = self.batches_failed
+        return report
+
+
+# -- the service-worker batch ------------------------------------------------
+
+
+def batch_rng(seed: int, round_index: int, batch_index: int) -> random.Random:
+    """The deterministic RNG for one batch of one campaign."""
+    return random.Random(f"fuzz/{seed}/round{round_index}/batch{batch_index}")
+
+
+def run_batch(payload: dict) -> dict:
+    """Worker entry: one batch of iterations against a snapshot.
+
+    The payload carries the campaign seed, the round/batch coordinates,
+    the corpus and coverage snapshots, and the oracle knobs; the result
+    carries only the *deltas* (new coverage keys, promoted inputs,
+    divergences) so the driver can merge batches in submission order.
+    """
+    config = FuzzConfig(
+        seed=payload["seed"],
+        iterations=payload["iterations"],
+        step_budget=payload.get("step_budget", DEFAULT_STEP_BUDGET),
+        canary=payload.get("canary", True),
+        max_corpus=payload.get("max_corpus", 256),
+    )
+    fuzzer = DifferentialFuzzer(config)
+    baseline = frozenset(payload.get("coverage", ()))
+    fuzzer.coverage = CoverageMap(baseline)
+    for entry in payload.get("corpus", ()):
+        source, stdin, family, label = entry
+        fuzzer.add_corpus(
+            FuzzInput(
+                source=source, stdin=tuple(stdin), family=family, label=label
+            )
+        )
+    rng = batch_rng(payload["seed"], payload["round"], payload["batch"])
+    fuzzer.fuzz(rng, payload["iterations"])
+    return {
+        "execs": fuzzer.execs,
+        "invalid": fuzzer.invalid,
+        "discarded": fuzzer.discarded,
+        "new_coverage": sorted(
+            key for key in fuzzer.coverage.sorted_keys() if key not in baseline
+        ),
+        "new_inputs": [
+            [inp.source, list(inp.stdin), inp.family, inp.label]
+            for inp in fuzzer.promoted
+        ],
+        "divergences": [
+            fuzzer.divergences[f].to_dict()
+            for f in sorted(fuzzer.divergences)
+        ],
+    }
+
+
+# -- the campaign driver -----------------------------------------------------
+
+#: Batches submitted per round.  A fixed constant — never derived from
+#: the pool size — so the batch partition, the per-batch RNG streams,
+#: and therefore the report bytes are identical for any worker count.
+BATCHES_PER_ROUND = 4
+
+
+def _merge_batch(fuzzer: DifferentialFuzzer, result: dict) -> None:
+    fuzzer.execs += result["execs"]
+    fuzzer.invalid += result["invalid"]
+    fuzzer.discarded += result["discarded"]
+    if fuzzer.metrics is not None:
+        fuzzer.metrics.counter("fuzz.execs_total").inc(result["execs"])
+    fuzzer.coverage.observe(result["new_coverage"])
+    for source, stdin, family, label in result["new_inputs"]:
+        fuzzer.add_corpus(
+            FuzzInput(
+                source=source, stdin=tuple(stdin), family=family, label=label
+            )
+        )
+    for entry in result["divergences"]:
+        div = Divergence.from_dict(entry)
+        known = fuzzer.divergences.get(div.fingerprint)
+        if known is None:
+            fuzzer.divergences[div.fingerprint] = div
+            if fuzzer.metrics is not None:
+                fuzzer.metrics.counter("fuzz.divergences_total").inc()
+        else:
+            known.occurrences += div.occurrences
+
+
+def run_campaign(
+    config: FuzzConfig,
+    engine=None,
+    batch_size: int = 50,
+    batch_timeout: float = 120.0,
+) -> CampaignReport:
+    """Run a whole campaign; with ``engine`` the iterations fan out as
+    :class:`FuzzCampaignJob` batches over the service worker pool."""
+    fuzzer = DifferentialFuzzer(
+        config, metrics=engine.metrics if engine is not None else None
+    )
+    fuzzer.run_seeds()
+    if engine is None:
+        fuzzer.fuzz(batch_rng(config.seed, 0, 0), config.iterations)
+        return fuzzer.finalize()
+
+    from ..service.jobs import NORMAL_PRIORITY, FuzzCampaignJob
+    from ..service.scheduler import JobFailed
+
+    remaining = config.iterations
+    round_index = 0
+    while remaining > 0:
+        corpus_snapshot = tuple(
+            (inp.source, inp.stdin, inp.family, inp.label)
+            for inp in fuzzer.corpus
+        )
+        coverage_snapshot = fuzzer.coverage.sorted_keys()
+        handles = []
+        for batch_index in range(BATCHES_PER_ROUND):
+            if remaining <= 0:
+                break
+            size = min(batch_size, remaining)
+            remaining -= size
+            job = FuzzCampaignJob(
+                seed=config.seed,
+                round=round_index,
+                batch=batch_index,
+                iterations=size,
+                corpus=corpus_snapshot,
+                coverage=coverage_snapshot,
+                step_budget=config.step_budget,
+                canary=config.canary,
+                max_corpus=config.max_corpus,
+            )
+            handles.append(
+                engine.scheduler.submit(
+                    job, priority=NORMAL_PRIORITY, timeout=batch_timeout
+                )
+            )
+        for handle in handles:
+            try:
+                _merge_batch(fuzzer, handle.result())
+            except JobFailed:
+                fuzzer.batches_failed += 1
+        round_index += 1
+    return fuzzer.finalize()

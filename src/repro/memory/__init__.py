@@ -30,6 +30,7 @@ from .encoding import (
     encode_int,
     encode_pointer,
 )
+from .events import MemoryEventTap
 from .heap import HEADER_SIZE, BlockInfo, HeapAllocator
 from .pool import CheckedMemoryPool, MemoryPool, PoolStats, pool_in_segment
 from .segments import DEFAULT_PERMISSIONS, Permissions, Segment, SegmentKind
@@ -57,6 +58,7 @@ __all__ = [
     "INT_SIZE",
     "LONG_LONG_SIZE",
     "LocalAreaPlanner",
+    "MemoryEventTap",
     "MemoryPool",
     "Permissions",
     "POINTER_SIZE",

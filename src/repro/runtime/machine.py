@@ -85,6 +85,9 @@ class Machine:
         )
         self.stdin = SimulatedStdin()
         self.files = FileSystem()
+        #: Optional MemoryEventTap; writers that install vptrs announce
+        #: the slot through it so later tampering is distinguishable.
+        self.event_tap = None
         self.events: list[str] = []
         self.syscalls: list[str] = []
         self._globals: dict[str, GlobalVar] = {}

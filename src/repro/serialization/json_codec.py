@@ -18,6 +18,7 @@ from typing import Any, Mapping
 
 from ..cxx.classdef import ClassDef
 from ..cxx.object_model import Instance
+from ..cxx.layout import ClassType
 from ..errors import ApiMisuseError
 from ..taint.engine import TaintLabel
 
@@ -64,11 +65,20 @@ def serialize(instance: Instance) -> RemoteObject:
 
     Array fields are serialized element-wise at their declared length —
     note this *includes* whatever the memory currently holds, which is
-    how Listing 22's ``store(st)`` exfiltrates residue.
+    how Listing 22's ``store(st)`` exfiltrates residue.  Class-type
+    members nest as JSON objects (their own ``__class__`` tag plus
+    fields), the shape an Ajax/JSON peer would actually emit.
     """
     fields: dict[str, Any] = {}
     for slot in instance.layout.field_slots:
-        fields[slot.name] = instance.get(slot.name)
+        if isinstance(slot.ctype, ClassType):
+            nested = serialize(instance.nested(slot.name))
+            fields[slot.name] = {
+                "__class__": nested.class_name,
+                **dict(nested.fields),
+            }
+        else:
+            fields[slot.name] = instance.get(slot.name)
     return RemoteObject(
         class_name=instance.class_def.name, fields=fields, labels=frozenset()
     )
@@ -99,6 +109,20 @@ def construct_from_remote(
         if slot.name not in remote.fields:
             continue
         value = remote.fields[slot.name]
+        if isinstance(slot.ctype, ClassType) and isinstance(value, Mapping):
+            nested_fields = {k: v for k, v in value.items() if k != "__class__"}
+            construct_from_remote(
+                ctx,
+                slot.ctype.class_def,
+                address + slot.offset,
+                RemoteObject(
+                    class_name=value.get("__class__", slot.ctype.class_def.name),
+                    fields=nested_fields,
+                    labels=remote.labels,
+                ),
+                taint=taint,
+            )
+            continue
         instance.set(slot.name, value)
         if taint is not None and remote.tainted:
             taint.mark(address + slot.offset, slot.ctype.size, *remote.labels)

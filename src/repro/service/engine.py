@@ -229,6 +229,41 @@ class ServiceEngine:
             priority=HIGH_PRIORITY,
         )
 
+    # -- fuzzing -----------------------------------------------------------
+
+    def fuzz_campaign(
+        self,
+        seed: int = 1,
+        iterations: int = 200,
+        step_budget: int = 50_000,
+        canary: bool = True,
+        minimize: bool = True,
+        max_corpus: int = 256,
+        batch_size: int = 50,
+        batch_timeout: float = 120.0,
+    ):
+        """Run a differential fuzzing campaign over this worker pool.
+
+        Returns a :class:`repro.fuzz.CampaignReport`.  Imported lazily:
+        the fuzz package drives the service layer, not vice versa.
+        """
+        from ..fuzz import FuzzConfig, run_campaign
+
+        config = FuzzConfig(
+            seed=seed,
+            iterations=iterations,
+            step_budget=step_budget,
+            canary=canary,
+            minimize=minimize,
+            max_corpus=max_corpus,
+        )
+        return run_campaign(
+            config,
+            engine=self,
+            batch_size=batch_size,
+            batch_timeout=batch_timeout,
+        )
+
     # -- introspection -----------------------------------------------------
 
     def metrics_snapshot(self) -> dict:

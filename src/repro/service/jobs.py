@@ -84,6 +84,31 @@ class MatrixJob(Job):
 
 
 @dataclass(frozen=True)
+class FuzzCampaignJob(Job):
+    """One batch of a differential fuzzing campaign (see ``repro.fuzz``).
+
+    The payload is a full snapshot — campaign seed, round/batch
+    coordinates, corpus, and coverage baseline — so the worker is pure:
+    same payload, same batch result.  Still not cacheable, because
+    campaigns intentionally re-run batches against evolving snapshots
+    and the result cache would pin a stale corpus.
+    """
+
+    seed: int = 1
+    round: int = 0
+    batch: int = 0
+    iterations: int = 50
+    corpus: tuple = ()  # (source, stdin, family, label) tuples
+    coverage: tuple = ()  # coverage keys already reached
+    step_budget: int = 50_000
+    canary: bool = True
+    max_corpus: int = 256
+
+    KIND = "fuzz-campaign"
+    CACHEABLE = False
+
+
+@dataclass(frozen=True)
 class ExecJob(Job):
     """Execute MiniC++ source on a fresh simulated machine.
 

@@ -221,12 +221,25 @@ def run_exec(payload: dict) -> dict:
     }
 
 
+def run_fuzz_campaign(payload: dict) -> dict:
+    """Worker for :class:`FuzzCampaignJob` (one deterministic batch).
+
+    Imported lazily so the service layer does not pull the fuzzing
+    stack in at import time (and ``repro.fuzz`` can import the service
+    layer for its campaign driver without a cycle).
+    """
+    from ..fuzz.campaign import run_batch
+
+    return run_batch(payload)
+
+
 #: Kind → worker function.  Extensible at runtime (thread backend only).
 WORKER_REGISTRY: dict = {
     "analyze": run_analyze,
     "attack": run_attack,
     "matrix": run_matrix,
     "exec": run_exec,
+    "fuzz-campaign": run_fuzz_campaign,
 }
 
 

@@ -9,6 +9,8 @@ from .classes import (
 )
 from .corpus import FULL_CORPUS, CorpusProgram, corpus_sources
 from .generators import (
+    ALL_SHAPES,
+    CLASSIC_SHAPES,
     DetectorScore,
     GeneratedProgram,
     generate_corpus,
@@ -17,6 +19,8 @@ from .generators import (
 )
 
 __all__ = [
+    "ALL_SHAPES",
+    "CLASSIC_SHAPES",
     "CorpusProgram",
     "DetectorScore",
     "FULL_CORPUS",

@@ -13,11 +13,30 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from ..cxx import make_class
+from ..cxx.layout import LayoutEngine
+from ..cxx.types import CHAR, DOUBLE, FLOAT, INT, SHORT
+
 _SCALARS = ("int", "double", "char", "short", "float")
 
-#: Per-type sizes/alignments on the ILP32 target (matching symbols.py).
-_SIZES = {"int": 4, "double": 8, "char": 1, "short": 2, "float": 4}
-_ALIGNS = {"int": 4, "double": 8, "char": 1, "short": 2, "float": 4}
+#: Scalar name → the object model's CType (sizes come from the real
+#: layout engine, never from a hand-maintained mirror).
+_CTYPES = {"int": INT, "double": DOUBLE, "char": CHAR, "short": SHORT, "float": FLOAT}
+
+#: Shapes drawn by default (the classic overflow families whose ground
+#: truth is "does the placement overflow the arena").
+CLASSIC_SHAPES = ("direct", "helper", "guarded", "tainted-array")
+
+#: Every shape the generator knows, including the families whose ground
+#: truth needs a leak or timeout oracle rather than the placement audit
+#: log ("leak" = Listings 21–22 arena-reuse info leak, "dos-loop" =
+#: §4.4 loop-bound DoS).  The differential fuzzer seeds from all of
+#: these; ``generate_program`` keeps drawing only CLASSIC_SHAPES by
+#: default so overflow-oracle callers are unaffected.
+ALL_SHAPES = CLASSIC_SHAPES + ("leak", "dos-loop")
+
+#: Shared, identity-checked layout cache (cheap; never stale).
+_ENGINE = LayoutEngine()
 
 
 @dataclass(frozen=True)
@@ -28,39 +47,41 @@ class GeneratedProgram:
     vulnerable: bool
     arena_size: int
     placed_size: int
-    shape: str  # "direct" | "helper" | "guarded" | "tainted-array"
+    shape: str  # one of ALL_SHAPES
+    stdin: tuple = ()  # suggested attacker input that exercises the bug
 
     @property
     def oversize(self) -> int:
         return max(self.placed_size - self.arena_size, 0)
 
 
+def _make_classes(base_fields: list, extra_fields: list):
+    """The (base, derived) ClassDefs for a generated Small/Big pair."""
+    base = make_class(
+        "Small",
+        fields=[(f"f{i}", _CTYPES[t]) for i, t in enumerate(base_fields)],
+    )
+    derived = make_class(
+        "Big",
+        fields=[(f"g{i}", _CTYPES[t]) for i, t in enumerate(extra_fields)],
+        bases=(base,),
+    )
+    return base, derived
+
+
 def _layout_size(fields: list) -> int:
-    """Mirror the layout engine: offsets with natural alignment, size
-    rounded to the max alignment."""
-    offset = 0
-    max_align = 1
-    for type_name in fields:
-        align = _ALIGNS[type_name]
-        size = _SIZES[type_name]
-        offset = (offset + align - 1) // align * align + size
-        max_align = max(max_align, align)
-    if offset == 0:
-        offset = 1
-    return (offset + max_align - 1) // max_align * max_align
+    """Size of a standalone class with these members, computed by the
+    real layout engine — generated ground truth cannot drift from the
+    object model."""
+    base, _ = _make_classes(fields, [])
+    return _ENGINE.layout_of(base).size
 
 
 def _derived_size(base_fields: list, extra_fields: list) -> int:
-    """Size of a derived class: the padded base subobject comes first,
-    then the new members (matching the real layout pass)."""
-    offset = _layout_size(base_fields)
-    max_align = max((_ALIGNS[t] for t in base_fields), default=1)
-    for type_name in extra_fields:
-        align = _ALIGNS[type_name]
-        size = _SIZES[type_name]
-        offset = (offset + align - 1) // align * align + size
-        max_align = max(max_align, align)
-    return (offset + max_align - 1) // max_align * max_align
+    """Size of the derived class, by the same engine that lays out the
+    simulated objects (padded base subobject first, then new members)."""
+    _, derived = _make_classes(base_fields, extra_fields)
+    return _ENGINE.layout_of(derived).size
 
 
 def _class_decl(name: str, fields: list) -> str:
@@ -79,14 +100,20 @@ def generate_program(
 ) -> GeneratedProgram:
     """Generate one program whose vulnerability status is known.
 
-    ``shape`` picks the structural family; by default one is drawn at
-    random.  ``vulnerable=True`` guarantees an oversize (or tainted)
-    placement reachable at runtime; ``vulnerable=False`` guarantees the
-    placement fits (or is guarded / constant-bounded).
+    ``shape`` picks the structural family; by default one of
+    CLASSIC_SHAPES is drawn at random (ask for "leak" or "dos-loop"
+    explicitly — their ground truth is a leak/timeout, not an
+    overflow).  ``vulnerable=True`` guarantees the labeled bug is
+    reachable at runtime; ``vulnerable=False`` guarantees it is not
+    (fits, guarded, sanitized, or bounded).
     """
-    chosen = shape or rng.choice(("direct", "helper", "guarded", "tainted-array"))
+    chosen = shape or rng.choice(CLASSIC_SHAPES)
     if chosen == "tainted-array":
         return _tainted_array_program(rng, vulnerable)
+    if chosen == "leak":
+        return _leak_program(rng, vulnerable)
+    if chosen == "dos-loop":
+        return _dos_loop_program(rng, vulnerable)
     # Build two classes whose relative sizes encode the ground truth.
     small_fields = _random_fields(rng, rng.randint(1, 4))
     extra_fields = _random_fields(rng, rng.randint(1, 4))
@@ -157,20 +184,96 @@ def _tainted_array_program(
             "  char *buf = new (pool) char[n];\n}\n"
         )
         placed = pool + 1  # unknown at compile time; attacker-sized
-    else:
-        constant = rng.randint(1, pool)
-        body = (
-            f"char pool[{pool}];\n"
-            "void run() {\n"
-            f"  char *buf = new (pool) char[{constant}];\n}}\n"
+        return GeneratedProgram(
+            source=body,
+            vulnerable=True,
+            arena_size=pool,
+            placed_size=placed,
+            shape="tainted-array",
+            stdin=(pool + 16,),
         )
-        placed = constant
+    constant = rng.randint(1, pool)
+    body = (
+        f"char pool[{pool}];\n"
+        "void run() {\n"
+        f"  char *buf = new (pool) char[{constant}];\n}}\n"
+    )
+    return GeneratedProgram(
+        source=body,
+        vulnerable=False,
+        arena_size=pool,
+        placed_size=constant,
+        shape="tainted-array",
+    )
+
+
+def _leak_program(rng: random.Random, vulnerable: bool) -> GeneratedProgram:
+    """Listing 21/22 family: a filled arena is re-used by a placement
+    new and flows to an output sink; the safe twin sanitizes first."""
+    pool = rng.choice((64, 128, 256))
+    sanitize = "" if vulnerable else f"  memset(pool, 0, {pool});\n"
+    body = (
+        f"char pool[{pool}];\n"
+        "void run() {\n"
+        f'  readFile("/etc/passwd", pool, {pool});\n'
+        + sanitize
+        + f"  char *userdata = new (pool) char[{pool}];\n"
+        "  store(userdata);\n"
+        "}\n"
+    )
     return GeneratedProgram(
         source=body,
         vulnerable=vulnerable,
         arena_size=pool,
-        placed_size=placed,
-        shape="tainted-array",
+        placed_size=pool,  # the placement fits; the bug is the residue
+        shape="leak",
+    )
+
+
+def _dos_loop_program(rng: random.Random, vulnerable: bool) -> GeneratedProgram:
+    """§4.4 family: the attacker writes a loop bound through a field
+    that lies beyond the arena (vulnerable) or inside it but capped
+    (safe); a huge bound spins the process past its step budget."""
+    classes = (
+        "class Tiny { public: int f0; };\n"
+        "class Wide : public Tiny { public: int g0; int g1; };\n"
+    )
+    tiny_size = _layout_size(["int"])
+    wide_size = _derived_size(["int"], ["int", "int"])
+    bound = rng.choice((1 << 20, 1 << 24, 1 << 28))
+    if vulnerable:
+        body = (
+            "void run() {\n"
+            "  Tiny arena;\n"
+            "  Wide *p = new (&arena) Wide();\n"
+            "  cin >> p->g1;\n"
+            "  int i = 0;\n"
+            "  while (i < p->g1) {\n"
+            "    i = i + 1;\n"
+            "  }\n"
+            "}\n"
+        )
+        arena_size, placed_size = tiny_size, wide_size
+    else:
+        body = (
+            "void run() {\n"
+            "  Wide arena;\n"
+            "  Tiny *p = new (&arena) Tiny();\n"
+            "  cin >> p->f0;\n"
+            "  int i = 0;\n"
+            "  while (i < p->f0 && i < 8) {\n"
+            "    i = i + 1;\n"
+            "  }\n"
+            "}\n"
+        )
+        arena_size, placed_size = wide_size, tiny_size
+    return GeneratedProgram(
+        source=classes + body,
+        vulnerable=vulnerable,
+        arena_size=arena_size,
+        placed_size=placed_size,
+        shape="dos-loop",
+        stdin=(bound,),
     )
 
 

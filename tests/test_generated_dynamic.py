@@ -65,6 +65,33 @@ class TestGeneratedDynamicAgreement:
         assert _observed_overflow(program) == vulnerable
 
 
+class TestNewFamiliesDynamic:
+    """The fuzzer's seed families whose ground truth is not an
+    overflow: verified through the dynamic oracle's event vocabulary."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_leak_shape(self, seed):
+        from repro.fuzz.oracles import dynamic_verdict
+
+        rng = random.Random(400 + seed)
+        vulnerable = seed % 2 == 0
+        program = generate_program(rng, vulnerable, shape="leak")
+        _, verdict = dynamic_verdict(program.source, stdin=program.stdin)
+        assert verdict.valid
+        assert ("leak-detected" in verdict.events) == vulnerable
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_dos_loop_shape(self, seed):
+        from repro.fuzz.oracles import dynamic_verdict
+
+        rng = random.Random(500 + seed)
+        vulnerable = seed % 2 == 0
+        program = generate_program(rng, vulnerable, shape="dos-loop")
+        _, verdict = dynamic_verdict(program.source, stdin=program.stdin)
+        assert verdict.valid
+        assert ("dos-timeout" in verdict.events) == vulnerable
+
+
 @settings(max_examples=15, deadline=None)
 @given(
     seed=st.integers(min_value=0, max_value=5_000),

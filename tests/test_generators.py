@@ -40,6 +40,34 @@ class TestGeneration:
                 continue  # guarded may be oversize but unreachable
             assert program.placed_size <= program.arena_size
 
+    def test_leak_and_dos_shapes_generate_and_parse(self):
+        rng = random.Random(4)
+        for shape in ("leak", "dos-loop"):
+            for vulnerable in (True, False):
+                program = generate_program(rng, vulnerable, shape=shape)
+                assert parse(program.source).functions
+                assert program.shape == shape
+                assert program.vulnerable == vulnerable
+
+    def test_leak_safe_twin_sanitizes(self):
+        rng = random.Random(4)
+        assert "memset" in generate_program(rng, False, shape="leak").source
+        assert "memset" not in generate_program(rng, True, shape="leak").source
+
+    def test_dos_loop_carries_attacker_stdin(self):
+        rng = random.Random(4)
+        program = generate_program(rng, vulnerable=True, shape="dos-loop")
+        assert program.stdin and program.stdin[0] >= 1 << 20
+
+    def test_default_draw_stays_classic(self):
+        # The overflow-ground-truth families stay the default universe;
+        # leak/dos-loop must be requested by name (their ground truth is
+        # a leak/timeout, which score_detector would misread).
+        rng = random.Random(5)
+        for _ in range(40):
+            program = generate_program(rng, vulnerable=True)
+            assert program.shape in ("direct", "helper", "guarded", "tainted-array")
+
     def test_corpus_reproducible(self):
         a = generate_corpus(seed=5, count=10)
         b = generate_corpus(seed=5, count=10)
