@@ -27,7 +27,16 @@
     report, ``triage`` records a human triage note on a divergence, and
     ``minimize`` shrinks one reproducer (see docs/FUZZING.md).
 
-All five front ends exit with status 2 on bad input (missing files,
+``repro-regress``
+    Manage the replayable regression corpus (see docs/REGRESSION.md):
+    ``record`` persists divergences from a campaign report or a single
+    source file as content-addressed bundles, ``replay`` re-judges the
+    whole store against the live oracles and fails on drift or on a
+    version bump without rebaseline, ``list``/``diff`` inspect the
+    store, ``rebaseline`` re-asserts expectations after an intentional
+    detector change, and ``gc`` sweeps unreadable or tampered bundles.
+
+All front ends exit with status 2 on bad input (missing files,
 unknown attack/environment names, malformed arguments), so scripts and
 service workers can tell usage errors from real findings.
 """
@@ -401,6 +410,11 @@ def _fuzz_run(args) -> int:
         minimize=not args.no_minimize,
         max_corpus=args.max_corpus,
     )
+    store = None
+    if getattr(args, "record", None):
+        from .regress import RegressionStore
+
+        store = RegressionStore(args.record)
     if args.jobs > 0:
         from .service import ServiceEngine
 
@@ -412,9 +426,15 @@ def _fuzz_run(args) -> int:
                 engine=engine,
                 batch_size=args.batch_size,
                 batch_timeout=args.batch_timeout,
+                store=store,
             )
     else:
-        report = run_campaign(config)
+        report = run_campaign(config, store=store)
+    if store is not None:
+        print(
+            f"recorded {len(report.divergences)} divergence(s) into "
+            f"{store.directory} ({len(store)} bundle(s) total)"
+        )
     if args.out:
         try:
             with open(args.out, "w") as handle:
@@ -591,6 +611,12 @@ def fuzz_main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="skip divergence minimization (faster campaigns)",
     )
+    run_parser.add_argument(
+        "--record",
+        metavar="DIR",
+        help="record every minimized divergence into this regression "
+        "store (see repro-regress / docs/REGRESSION.md)",
+    )
     run_parser.add_argument("--out", help="write the JSON report to this file")
     run_parser.add_argument(
         "--json", action="store_true", help="print the JSON report to stdout"
@@ -638,6 +664,346 @@ def fuzz_main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     if getattr(args, "jobs", 0) < 0:
         return _fail("--jobs must be >= 0")
+    return args.func(args)
+
+
+def _open_store(directory: str, create: bool = False):
+    """A store handle, or an exit code when the directory is missing."""
+    import os
+
+    from .regress import RegressionStore
+
+    if not create and not os.path.isdir(directory):
+        return None, _fail(f"no regression store at {directory}")
+    return RegressionStore(directory, create=create), None
+
+
+def _regress_record(args) -> int:
+    from .fuzz import OracleConfig
+
+    store, error = _open_store(args.store, create=True)
+    if store is None:
+        return error
+    config = OracleConfig(
+        step_budget=args.step_budget, canary=not args.no_canary
+    )
+    if args.from_report:
+        report, error = _load_report(args.from_report)
+        if report is None:
+            return error
+        tally = store.record_report(
+            report,
+            config,
+            meta={"seed": report.seed, "recorded_by": "repro-regress record"},
+        )
+        summary = (
+            ", ".join(f"{count} {kind}" for kind, count in sorted(tally.items()))
+            or "no divergences in the report"
+        )
+        print(f"recorded from {args.from_report}: {summary}")
+        return 0
+    if not args.source:
+        return _fail("provide --from-report or --source")
+    try:
+        with open(args.source) as handle:
+            source = handle.read()
+    except OSError as error:
+        return _fail(f"cannot read {args.source}: {error.strerror or error}")
+    stdin: tuple = ()
+    if args.stdin:
+        try:
+            stdin = tuple(int(token, 0) for token in args.stdin.split(","))
+        except ValueError as error:
+            return _fail(f"bad --stdin token: {error}")
+    from .fuzz import run_oracles
+    from .regress import bundle_from_observation
+
+    observation = run_oracles(source, stdin, config)
+    bundle = bundle_from_observation(
+        source,
+        stdin,
+        config,
+        observation,
+        triage=f"manual: {args.note}" if args.note else "",
+        meta={"recorded_by": "repro-regress record", "path": args.source},
+    )
+    bundle_id, disposition = store.record(bundle, overwrite=args.force)
+    print(
+        f"{disposition} {bundle_id} (expected {bundle.expected_kind}"
+        + (f", fingerprint {bundle.expected_fingerprint}" if bundle.expected_fingerprint else "")
+        + ")"
+    )
+    if disposition == "kept":
+        print("an existing bundle with different expectations was kept; "
+              "pass --force to overwrite", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _regress_replay(args) -> int:
+    store, error = _open_store(args.store)
+    if store is None:
+        return error
+    if args.jobs > 0:
+        from .service import ServiceEngine
+
+        with ServiceEngine(
+            workers=args.jobs, backend=args.backend, use_cache=False
+        ) as engine:
+            drift = engine.regress_replay(
+                store,
+                chunk_size=args.chunk_size,
+                check_versions=not args.skip_version_check,
+            )
+    else:
+        from .regress import replay_store
+
+        drift = replay_store(
+            store, check_versions=not args.skip_version_check
+        )
+    if args.out:
+        try:
+            with open(args.out, "w") as handle:
+                handle.write(drift.to_json())
+        except OSError as error:
+            return _fail(f"cannot write {args.out}: {error.strerror or error}")
+    if args.json:
+        print(drift.to_json(), end="")
+    else:
+        print(drift.render())
+    if drift.drifted and not args.allow_drift:
+        print(
+            f"FAIL: {len(drift.drifted)} bundle(s) drifted; inspect with "
+            "'repro-regress diff', fix the regression, or 'repro-regress "
+            "rebaseline' after an intentional change",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _regress_list(args) -> int:
+    from .regress import current_versions
+
+    store, error = _open_store(args.store)
+    if store is None:
+        return error
+    live = current_versions()
+    count = 0
+    for bundle in store.bundles():
+        count += 1
+        stale = "" if bundle.versions == live else " STALE-VERSION"
+        rules = ",".join(bundle.expected_rules) or "-"
+        events = ",".join(bundle.expected_events) or "-"
+        print(
+            f"{bundle.bundle_id}  [{bundle.status}] {bundle.expected_kind}"
+            f"{stale}  rules={rules} events={events}"
+            + (f"  (family {bundle.family})" if bundle.family else "")
+        )
+    print(f"{count} bundle(s) in {store.directory}")
+    return 0
+
+
+def _regress_diff(args) -> int:
+    import json as _json
+
+    from .regress import replay_store
+
+    store, error = _open_store(args.store)
+    if store is None:
+        return error
+    drift = replay_store(
+        store,
+        check_versions=not args.skip_version_check,
+        bundle_ids=args.ids or None,
+    )
+    for result in drift.sorted_results():
+        if result.ok:
+            continue
+        print(f"── {result.bundle_id} [{result.status}] ──")
+        if result.detail:
+            print(f"  {result.detail}")
+        for side, view in (("expected", result.expected), ("observed", result.observed)):
+            print(f"  {side}: {_json.dumps(view, sort_keys=True)}")
+    clean = len(drift.results) - len(drift.drifted)
+    print(f"{clean}/{len(drift.results)} bundle(s) reproduce exactly")
+    return 1 if drift.drifted else 0
+
+
+def _regress_rebaseline(args) -> int:
+    from .regress import rebaseline_store
+
+    store, error = _open_store(args.store)
+    if store is None:
+        return error
+    outcome = rebaseline_store(store, bundle_ids=args.ids or None)
+    for bundle_id in outcome["updated"]:
+        print(f"rebaselined {bundle_id}")
+    print(
+        f"{len(outcome['updated'])} updated, "
+        f"{len(outcome['unchanged'])} already current, "
+        f"{len(outcome['failed'])} failed"
+    )
+    for bundle_id, reason in sorted(outcome["failed"].items()):
+        print(f"FAILED {bundle_id}: {reason}", file=sys.stderr)
+    return 1 if outcome["failed"] else 0
+
+
+def _regress_gc(args) -> int:
+    store, error = _open_store(args.store)
+    if store is None:
+        return error
+    outcome = store.gc(dry_run=args.dry_run)
+    verb = "would remove" if args.dry_run else "removed"
+    for name, reason in sorted(outcome["removed"].items()):
+        print(f"{verb} {name}: {reason}")
+    print(
+        f"scanned {outcome['scanned']}, kept {outcome['kept']}, "
+        f"{verb} {len(outcome['removed'])}"
+    )
+    return 0
+
+
+def regress_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``repro-regress``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-regress",
+        description="Replayable regression corpus for oracle divergences "
+        "(record, replay, and gate on drift)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_store(p):
+        p.add_argument(
+            "--store",
+            default="corpus/regress",
+            metavar="DIR",
+            help="regression store directory (default: corpus/regress)",
+        )
+
+    record_parser = sub.add_parser(
+        "record", help="record divergences as replayable bundles"
+    )
+    add_store(record_parser)
+    record_parser.add_argument(
+        "--from-report",
+        metavar="FILE",
+        help="record every divergence of a saved campaign report",
+    )
+    record_parser.add_argument(
+        "--source", metavar="FILE", help="record one MiniC++ source file"
+    )
+    record_parser.add_argument(
+        "--stdin", default="", help="comma-separated integer tokens for cin"
+    )
+    record_parser.add_argument(
+        "--note",
+        default="",
+        help="manual triage note stored with a --source bundle",
+    )
+    record_parser.add_argument(
+        "--step-budget", type=int, default=50_000, help="oracle step budget"
+    )
+    record_parser.add_argument(
+        "--no-canary", action="store_true", help="record without the canary"
+    )
+    record_parser.add_argument(
+        "--force",
+        action="store_true",
+        help="overwrite an existing bundle with different expectations",
+    )
+    record_parser.set_defaults(func=_regress_record)
+
+    replay_parser = sub.add_parser(
+        "replay", help="re-judge the whole store against the live oracles"
+    )
+    add_store(replay_parser)
+    replay_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        metavar="N",
+        help="fan bundle chunks out over N service workers; 0 = "
+        "in-process sequential (default: 0)",
+    )
+    replay_parser.add_argument(
+        "--backend",
+        choices=("thread", "process"),
+        default="thread",
+        help="service worker backend (default: thread)",
+    )
+    replay_parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=8,
+        help="bundles per replay job (default: 8)",
+    )
+    replay_parser.add_argument(
+        "--fail-on-drift",
+        action="store_true",
+        help="exit 1 on any drift (the default; kept explicit for CI)",
+    )
+    replay_parser.add_argument(
+        "--allow-drift",
+        action="store_true",
+        help="report drift but exit 0 (triage workflows)",
+    )
+    replay_parser.add_argument(
+        "--skip-version-check",
+        action="store_true",
+        help="compare verdicts even for bundles recorded under other "
+        "versions (no stale-version failures)",
+    )
+    replay_parser.add_argument(
+        "--out", metavar="FILE", help="write the JSON drift report here"
+    )
+    replay_parser.add_argument(
+        "--json", action="store_true", help="print the JSON drift report"
+    )
+    replay_parser.set_defaults(func=_regress_replay)
+
+    list_parser = sub.add_parser("list", help="list the recorded bundles")
+    add_store(list_parser)
+    list_parser.set_defaults(func=_regress_list)
+
+    diff_parser = sub.add_parser(
+        "diff", help="show expected-vs-observed detail for drifted bundles"
+    )
+    add_store(diff_parser)
+    diff_parser.add_argument(
+        "ids", nargs="*", help="bundle ids (default: the whole store)"
+    )
+    diff_parser.add_argument(
+        "--skip-version-check",
+        action="store_true",
+        help="compare verdicts even across version bumps",
+    )
+    diff_parser.set_defaults(func=_regress_diff)
+
+    rebaseline_parser = sub.add_parser(
+        "rebaseline",
+        help="re-assert expectations and versions after an intentional change",
+    )
+    add_store(rebaseline_parser)
+    rebaseline_parser.add_argument(
+        "ids", nargs="*", help="bundle ids (default: the whole store)"
+    )
+    rebaseline_parser.set_defaults(func=_regress_rebaseline)
+
+    gc_parser = sub.add_parser(
+        "gc", help="sweep unreadable or address-mismatched bundles"
+    )
+    add_store(gc_parser)
+    gc_parser.add_argument(
+        "--dry-run", action="store_true", help="report without deleting"
+    )
+    gc_parser.set_defaults(func=_regress_gc)
+
+    args = parser.parse_args(argv)
+    if getattr(args, "jobs", 0) < 0:
+        return _fail("--jobs must be >= 0")
+    if getattr(args, "chunk_size", 1) < 1:
+        return _fail("--chunk-size must be >= 1")
     return args.func(args)
 
 

@@ -50,9 +50,13 @@ class DifferentialFuzzer:
     """The sequential fuzzing core; every data structure is
     deterministic for a fixed seed and iteration count."""
 
-    def __init__(self, config: FuzzConfig, metrics=None) -> None:
+    def __init__(self, config: FuzzConfig, metrics=None, store=None) -> None:
         self.config = config
         self.metrics = metrics
+        #: Optional :class:`repro.regress.RegressionStore`; when set,
+        #: :meth:`finalize` records every (minimized) divergence so the
+        #: disagreement survives the campaign as a replayable bundle.
+        self.store = store
         self.coverage = CoverageMap()
         self.corpus: list = []
         self.promoted: list = []  # inputs promoted *this* session
@@ -63,18 +67,42 @@ class DifferentialFuzzer:
         self.discarded = 0
         self.seeds = 0
         self.batches_failed = 0
-        self._seen: set = set()
+        self.iterations_lost = 0
+        self.saturations = 0
+        self._seen: set = set()  # every key ever evaluated or enrolled
+        self._corpus_keys: set = set()  # keys currently in the corpus
+        self._protected = 0  # leading corpus entries exempt from eviction
         self._oracle_config = config.oracle_config()
 
     # -- corpus ------------------------------------------------------------
 
-    def add_corpus(self, fuzz_input: FuzzInput) -> bool:
-        """Add an input as mutation material (dedup by content)."""
+    def add_corpus(self, fuzz_input: FuzzInput, protected: bool = False) -> bool:
+        """Add an input as mutation material (dedup by content).
+
+        Corpus membership is tracked separately from the evaluated set:
+        a mutant whose key is already in ``_seen`` (it was just
+        executed) can still be promoted.  When the corpus is saturated,
+        the oldest non-protected entry is evicted deterministically so
+        the campaign keeps learning — seeds (``protected=True``) are
+        never evicted, and the dropped candidate's key still enters
+        ``_seen`` so it is not re-evaluated later.
+        """
         key = fuzz_input.key()
-        if key in self._seen or len(self.corpus) >= self.config.max_corpus:
+        if key in self._corpus_keys:
             return False
         self._seen.add(key)
+        if len(self.corpus) >= self.config.max_corpus:
+            self.saturations += 1
+            if self.metrics is not None:
+                self.metrics.counter("fuzz.corpus_saturated").inc()
+            if self._protected >= len(self.corpus):
+                return False  # nothing evictable: the cap is all seeds
+            evicted = self.corpus.pop(self._protected)
+            self._corpus_keys.discard(evicted.key())
+        self._corpus_keys.add(key)
         self.corpus.append(fuzz_input)
+        if protected:
+            self._protected += 1
         return True
 
     # -- the loop ----------------------------------------------------------
@@ -115,7 +143,7 @@ class DifferentialFuzzer:
     def run_seeds(self) -> None:
         """Evaluate and enroll the deterministic seed set."""
         for fuzz_input in seed_inputs(self.config.seed):
-            self.add_corpus(fuzz_input)
+            self.add_corpus(fuzz_input, protected=True)
             self.observe(fuzz_input, promote=False)
             self.seeds += 1
 
@@ -169,6 +197,13 @@ class DifferentialFuzzer:
                     minimized_stdin=smallest.stdin,
                 )
             finished.append(auto_triage(div))
+        if self.store is not None:
+            for div in finished:
+                self.store.record_divergence(
+                    div,
+                    self._oracle_config,
+                    meta={"seed": self.config.seed, "recorded_by": "fuzz-campaign"},
+                )
         if self.metrics is not None:
             self.metrics.gauge("fuzz.coverage_size").set(len(self.coverage))
             self.metrics.gauge("fuzz.corpus_size").set(len(self.corpus))
@@ -185,6 +220,8 @@ class DifferentialFuzzer:
         )
         report.divergences = finished
         report.batches_failed = self.batches_failed
+        report.iterations_lost = self.iterations_lost
+        report.corpus_saturated = self.saturations
         return report
 
 
@@ -214,12 +251,17 @@ def run_batch(payload: dict) -> dict:
     fuzzer = DifferentialFuzzer(config)
     baseline = frozenset(payload.get("coverage", ()))
     fuzzer.coverage = CoverageMap(baseline)
-    for entry in payload.get("corpus", ()):
+    protected = payload.get("protected", 0)
+    for index, entry in enumerate(payload.get("corpus", ())):
         source, stdin, family, label = entry
         fuzzer.add_corpus(
             FuzzInput(
                 source=source, stdin=tuple(stdin), family=family, label=label
-            )
+            ),
+            # The driver's seed prefix stays immortal inside the batch
+            # too; driver-promoted entries may be evicted locally when
+            # the batch saturates, exactly as they may be in the driver.
+            protected=index < protected,
         )
     rng = batch_rng(payload["seed"], payload["round"], payload["batch"])
     fuzzer.fuzz(rng, payload["iterations"])
@@ -227,6 +269,7 @@ def run_batch(payload: dict) -> dict:
         "execs": fuzzer.execs,
         "invalid": fuzzer.invalid,
         "discarded": fuzzer.discarded,
+        "saturations": fuzzer.saturations,
         "new_coverage": sorted(
             key for key in fuzzer.coverage.sorted_keys() if key not in baseline
         ),
@@ -253,8 +296,13 @@ def _merge_batch(fuzzer: DifferentialFuzzer, result: dict) -> None:
     fuzzer.execs += result["execs"]
     fuzzer.invalid += result["invalid"]
     fuzzer.discarded += result["discarded"]
+    fuzzer.saturations += result.get("saturations", 0)
     if fuzzer.metrics is not None:
         fuzzer.metrics.counter("fuzz.execs_total").inc(result["execs"])
+        if result.get("saturations"):
+            fuzzer.metrics.counter("fuzz.corpus_saturated").inc(
+                result["saturations"]
+            )
     fuzzer.coverage.observe(result["new_coverage"])
     for source, stdin, family, label in result["new_inputs"]:
         fuzzer.add_corpus(
@@ -278,11 +326,16 @@ def run_campaign(
     engine=None,
     batch_size: int = 50,
     batch_timeout: float = 120.0,
+    store=None,
 ) -> CampaignReport:
     """Run a whole campaign; with ``engine`` the iterations fan out as
-    :class:`FuzzCampaignJob` batches over the service worker pool."""
+    :class:`FuzzCampaignJob` batches over the service worker pool.
+    With ``store`` (a :class:`repro.regress.RegressionStore`) every
+    minimized divergence is recorded as a replayable regression bundle."""
     fuzzer = DifferentialFuzzer(
-        config, metrics=engine.metrics if engine is not None else None
+        config,
+        metrics=engine.metrics if engine is not None else None,
+        store=store,
     )
     fuzzer.run_seeds()
     if engine is None:
@@ -313,19 +366,29 @@ def run_campaign(
                 iterations=size,
                 corpus=corpus_snapshot,
                 coverage=coverage_snapshot,
+                protected=fuzzer._protected,
                 step_budget=config.step_budget,
                 canary=config.canary,
                 max_corpus=config.max_corpus,
             )
             handles.append(
-                engine.scheduler.submit(
-                    job, priority=NORMAL_PRIORITY, timeout=batch_timeout
+                (
+                    size,
+                    engine.scheduler.submit(
+                        job, priority=NORMAL_PRIORITY, timeout=batch_timeout
+                    ),
                 )
             )
-        for handle in handles:
+        for size, handle in handles:
             try:
                 _merge_batch(fuzzer, handle.result())
             except JobFailed:
+                # The batch's iterations are gone, not silently absorbed:
+                # the report carries the shortfall so "N iterations"
+                # claims stay honest.
                 fuzzer.batches_failed += 1
+                fuzzer.iterations_lost += size
+                if fuzzer.metrics is not None:
+                    fuzzer.metrics.counter("fuzz.iterations_lost").inc(size)
         round_index += 1
     return fuzzer.finalize()

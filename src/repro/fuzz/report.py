@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 
 from .divergence import Divergence
 
-SCHEMA = 1
+SCHEMA = 2
 
 
 @dataclass
@@ -29,6 +29,12 @@ class CampaignReport:
     mutants_discarded: int = 0
     corpus_size: int = 0
     batches_failed: int = 0
+    #: Iterations claimed by the config but never executed because
+    #: their batch failed or timed out (see docs/FUZZING.md).
+    iterations_lost: int = 0
+    #: Times the live corpus hit ``max_corpus`` and evicted (or, when
+    #: only seeds remained, dropped) a candidate to keep learning.
+    corpus_saturated: int = 0
     coverage: tuple = ()
     divergences: list = field(default_factory=list)
     #: family → {"static": bool, "dynamic": bool}: did the family's
@@ -57,6 +63,8 @@ class CampaignReport:
             "mutants_discarded": self.mutants_discarded,
             "corpus_size": self.corpus_size,
             "batches_failed": self.batches_failed,
+            "iterations_lost": self.iterations_lost,
+            "corpus_saturated": self.corpus_saturated,
             "coverage_size": len(self.coverage),
             "coverage": sorted(self.coverage),
             "divergences": [d.to_dict() for d in self.sorted_divergences()],
@@ -83,6 +91,8 @@ class CampaignReport:
             mutants_discarded=data.get("mutants_discarded", 0),
             corpus_size=data.get("corpus_size", 0),
             batches_failed=data.get("batches_failed", 0),
+            iterations_lost=data.get("iterations_lost", 0),
+            corpus_saturated=data.get("corpus_saturated", 0),
             coverage=tuple(data.get("coverage", ())),
             families=dict(data.get("families", {})),
         )
@@ -97,6 +107,14 @@ class CampaignReport:
             f"campaign seed={self.seed} execs={self.execs} "
             f"(invalid {self.invalid}, discarded mutants "
             f"{self.mutants_discarded})",
+        ]
+        if self.batches_failed or self.iterations_lost:
+            lines.append(
+                f"!! {self.batches_failed} batch(es) failed: "
+                f"{self.iterations_lost} of {self.iterations} configured "
+                f"iterations never executed"
+            )
+        lines += [
             f"coverage: {len(self.coverage)} keys; corpus: "
             f"{self.corpus_size} inputs",
             "family reach (labeled-vulnerable seeds):",

@@ -1,0 +1,8 @@
+"""``python -m repro.regress`` — the repro-regress front end."""
+
+import sys
+
+from ..cli import regress_main
+
+if __name__ == "__main__":
+    sys.exit(regress_main())

@@ -31,6 +31,7 @@ from .jobs import (
     ExecJob,
     Job,
     MatrixJob,
+    RegressReplayJob,
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, render_prometheus
 from .scheduler import (
@@ -78,6 +79,7 @@ __all__ = [
     "MetricsRegistry",
     "NORMAL_PRIORITY",
     "QueueFull",
+    "RegressReplayJob",
     "ResultCache",
     "Scheduler",
     "ServiceClient",

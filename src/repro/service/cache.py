@@ -89,7 +89,8 @@ class ResultCache:
 
         The in-memory insert happens under the lock; the disk write does
         NOT — a slow or wedged filesystem must never serialize readers
-        behind it.  Disk errors (full disk, read-only directory) are
+        behind it.  Disk errors (full disk, read-only directory) and
+        non-JSON-serializable values are
         absorbed into :attr:`write_errors` rather than raised: a job
         whose worker succeeded stays succeeded even when the cache
         cannot persist its result.  Returns ``True`` when the entry is
@@ -105,8 +106,12 @@ class ResultCache:
         path = self._path(key)
         if path is None:
             return True
-        data = json.dumps(value, sort_keys=True)
         try:
+            # Serialization stays inside the guarded region: a worker
+            # result that is not JSON-able (sets, exotic objects) is a
+            # write error like any other — never an exception out of a
+            # job that already SUCCEEDED.
+            data = json.dumps(value, sort_keys=True)
             if self.fault_plan is not None:
                 rule = self.fault_plan.activate(CACHE_FAULTS, key=key)
                 if rule is not None:
@@ -122,7 +127,7 @@ class ResultCache:
             tmp = path.parent / f"{path.name}.{threading.get_ident():x}.tmp"
             tmp.write_text(data)
             tmp.replace(path)
-        except OSError:
+        except (OSError, TypeError, ValueError):
             with self._lock:
                 self.write_errors += 1
             return False

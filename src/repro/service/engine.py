@@ -10,6 +10,7 @@ scheduler.
 
 from __future__ import annotations
 
+import json
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from ..attacks import all_attacks, attack_by_name
@@ -263,6 +264,73 @@ class ServiceEngine:
             batch_size=batch_size,
             batch_timeout=batch_timeout,
         )
+
+    # -- regression replay -------------------------------------------------
+
+    def regress_replay(
+        self,
+        store,
+        chunk_size: int = 8,
+        check_versions: bool = True,
+        timeout: float = 300.0,
+    ):
+        """Replay a regression store over the worker pool.
+
+        ``store`` is a :class:`repro.regress.RegressionStore` or a
+        directory path.  Bundles are chunked in id order into
+        ``regress-replay`` jobs; results merge in submission order and
+        the returned :class:`repro.regress.DriftReport` is byte-identical
+        to a sequential replay for any worker count.  A failed or
+        timed-out chunk marks each of its bundles ``invalid-run`` rather
+        than dropping them — a replay gate must never lose bundles.
+        """
+        from ..regress import DriftReport, RegressionStore, ReplayResult
+        from .jobs import RegressReplayJob
+        from .scheduler import JobFailed
+
+        if not isinstance(store, RegressionStore):
+            store = RegressionStore(store, create=False)
+        chunk_size = max(1, chunk_size)
+        chunks: List[List[str]] = []
+        current: List[str] = []
+        for bundle in store.bundles():
+            current.append(bundle.to_json())
+            if len(current) >= chunk_size:
+                chunks.append(current)
+                current = []
+        if current:
+            chunks.append(current)
+        handles = [
+            self.scheduler.submit(
+                RegressReplayJob(
+                    bundles=tuple(chunk), check_versions=check_versions
+                ),
+                priority=NORMAL_PRIORITY,
+                timeout=timeout,
+            )
+            for chunk in chunks
+        ]
+        report = DriftReport()
+        for chunk, handle in zip(chunks, handles):
+            try:
+                results = handle.result()["results"]
+            except JobFailed as error:
+                results = [
+                    {
+                        "bundle_id": json.loads(doc).get("id", "?"),
+                        "status": "invalid-run",
+                        "detail": f"replay chunk failed: {error}",
+                    }
+                    for doc in chunk
+                ]
+            for entry in results:
+                report.results.append(ReplayResult.from_dict(entry))
+        self.metrics.gauge("regress.bundles").set(len(report.results))
+        self.metrics.counter("regress.replays_total").inc(len(report.results))
+        drifted = len(report.drifted)
+        if drifted:
+            self.metrics.counter("regress.drift_total").inc(drifted)
+        return report
 
     # -- introspection -----------------------------------------------------
 

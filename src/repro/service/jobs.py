@@ -100,11 +100,30 @@ class FuzzCampaignJob(Job):
     iterations: int = 50
     corpus: tuple = ()  # (source, stdin, family, label) tuples
     coverage: tuple = ()  # coverage keys already reached
+    protected: int = 0  # leading corpus entries exempt from eviction
     step_budget: int = 50_000
     canary: bool = True
     max_corpus: int = 256
 
     KIND = "fuzz-campaign"
+    CACHEABLE = False
+
+
+@dataclass(frozen=True)
+class RegressReplayJob(Job):
+    """Replay one chunk of regression bundles (see ``repro.regress``).
+
+    The payload carries the bundles themselves (canonical JSON strings),
+    not a store path, so the worker is pure and process-backend safe:
+    same bundles, same replay verdicts.  Not cacheable — the whole point
+    of a replay is to re-judge the bundle against the *current* detector
+    and simulator, never a remembered verdict.
+    """
+
+    bundles: tuple = ()  # canonical-JSON bundle documents
+    check_versions: bool = True
+
+    KIND = "regress-replay"
     CACHEABLE = False
 
 

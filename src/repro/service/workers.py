@@ -233,6 +233,24 @@ def run_fuzz_campaign(payload: dict) -> dict:
     return run_batch(payload)
 
 
+def run_regress_replay(payload: dict) -> dict:
+    """Worker for :class:`RegressReplayJob` (one chunk of bundles).
+
+    The bundles travel *in* the payload as canonical JSON, so the
+    worker never touches the store directory — pure and process-safe.
+    Lazily imported for the same reason as the fuzz worker.
+    """
+    from ..regress.replay import replay_bundle_json
+
+    check_versions = payload.get("check_versions", True)
+    return {
+        "results": [
+            replay_bundle_json(document, check_versions=check_versions)
+            for document in payload.get("bundles", ())
+        ]
+    }
+
+
 #: Kind → worker function.  Extensible at runtime (thread backend only).
 WORKER_REGISTRY: dict = {
     "analyze": run_analyze,
@@ -240,6 +258,7 @@ WORKER_REGISTRY: dict = {
     "matrix": run_matrix,
     "exec": run_exec,
     "fuzz-campaign": run_fuzz_campaign,
+    "regress-replay": run_regress_replay,
 }
 
 

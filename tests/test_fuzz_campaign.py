@@ -8,6 +8,7 @@ from repro.fuzz import (
     Divergence,
     DifferentialFuzzer,
     FuzzConfig,
+    FuzzInput,
     auto_triage,
     batch_rng,
     run_batch,
@@ -97,19 +98,27 @@ class TestBatchWorker:
 
 
 class TestServiceCampaign:
-    def test_acceptance_500_execs_byte_identical(self):
+    def test_acceptance_500_execs_byte_identical(self, tmp_path):
         """The PR's acceptance gate: a fixed-seed campaign pushing 500+
         generated programs through the service worker pool produces a
         byte-identical report across two runs, every labeled-vulnerable
-        family reaches both oracles, and nothing is left un-triaged."""
+        family reaches both oracles, nothing is left un-triaged, every
+        divergence is auto-recorded as a regression bundle, and an
+        immediate replay of that corpus is green and deterministic for
+        any worker count."""
+        from repro.regress import RegressionStore, replay_store
 
-        def one_run(workers):
+        def one_run(workers, store=None):
             with ServiceEngine(workers=workers, use_cache=False) as engine:
-                return engine.fuzz_campaign(
-                    seed=7, iterations=650, batch_size=60, minimize=False
+                return run_campaign(
+                    FuzzConfig(seed=7, iterations=650, minimize=False),
+                    engine=engine,
+                    batch_size=60,
+                    store=store,
                 )
 
-        first = one_run(4)
+        store = RegressionStore(tmp_path / "store")
+        first = one_run(4, store=store)
         # The batch partition is fixed (BATCHES_PER_ROUND), never derived
         # from the pool — so even a different worker count must reproduce
         # the report byte for byte.
@@ -119,6 +128,15 @@ class TestServiceCampaign:
         assert first.untriaged == []
         for family, reach in first.families.items():
             assert reach["static"] and reach["dynamic"], family
+        # Auto-record: one bundle per divergence; immediate replay green
+        # and byte-identical whether sequential or fanned out.
+        assert len(store) == len(first.divergences)
+        sequential = replay_store(store)
+        assert sequential.clean, sequential.render()
+        for workers in (1, 2, 4):
+            with ServiceEngine(workers=workers, use_cache=False) as engine:
+                fanned = engine.regress_replay(store)
+            assert fanned.to_json() == sequential.to_json(), workers
 
     def test_metrics_updated(self):
         with ServiceEngine(workers=2, use_cache=False) as engine:
@@ -136,6 +154,96 @@ class TestServiceCampaign:
         assert report.batches_failed > 0
         # Seeds still ran locally; the report stays coherent.
         assert report.execs >= report.seeds
+
+    def test_failed_batches_account_lost_iterations(self):
+        """Every iteration a crashed batch would have run is reported as
+        lost — an "N iterations" claim must stay honest."""
+        with ServiceEngine(
+            workers=2, use_cache=False, fault_plan="crash:fuzz-campaign:99"
+        ) as engine:
+            report = engine.fuzz_campaign(seed=4, iterations=40, minimize=False)
+            snapshot = engine.metrics.snapshot()
+        assert report.batches_failed > 0
+        assert report.iterations_lost == 40  # every batch crashed
+        assert snapshot["counters"]["fuzz.iterations_lost"] == 40
+        assert "never executed" in report.render()
+        restored = CampaignReport.from_dict(json.loads(report.to_json()))
+        assert restored.iterations_lost == 40
+        assert restored.batches_failed == report.batches_failed
+
+    def test_healthy_campaign_loses_nothing(self):
+        with ServiceEngine(workers=2, use_cache=False) as engine:
+            report = engine.fuzz_campaign(seed=4, iterations=40, minimize=False)
+        assert report.iterations_lost == 0
+        assert "never executed" not in report.render()
+
+
+class TestCorpusSaturation:
+    def seeded(self, max_corpus, protected=2):
+        fuzzer = DifferentialFuzzer(FuzzConfig(seed=1, max_corpus=max_corpus))
+        for index in range(protected):
+            assert fuzzer.add_corpus(
+                FuzzInput(f"void run() {{ int s{index} = 0; }}", (), "f"),
+                protected=True,
+            )
+        return fuzzer
+
+    def test_saturation_evicts_oldest_unprotected(self):
+        fuzzer = self.seeded(max_corpus=3)
+        first = FuzzInput("void run() { int a = 0; }", ())
+        second = FuzzInput("void run() { int b = 0; }", ())
+        assert fuzzer.add_corpus(first)
+        # Full now: the next coverage-growing input must still enter,
+        # displacing the oldest non-seed entry.
+        assert fuzzer.add_corpus(second)
+        assert fuzzer.saturations == 1
+        assert [inp.key() for inp in fuzzer.corpus][-1] == second.key()
+        assert first.key() not in {inp.key() for inp in fuzzer.corpus}
+        assert len(fuzzer.corpus) == 3
+
+    def test_current_members_are_deduplicated(self):
+        fuzzer = self.seeded(max_corpus=3)
+        entry = FuzzInput("void run() { int a = 0; }", ())
+        assert fuzzer.add_corpus(entry)
+        assert not fuzzer.add_corpus(entry)
+
+    def test_all_seed_cap_is_not_evictable(self):
+        fuzzer = self.seeded(max_corpus=2)
+        assert not fuzzer.add_corpus(FuzzInput("void run() { int a = 0; }", ()))
+        assert fuzzer.saturations == 1
+        assert len(fuzzer.corpus) == 2
+
+    def test_saturation_is_metered(self):
+        from repro.service import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        fuzzer = DifferentialFuzzer(
+            FuzzConfig(seed=1, max_corpus=1), metrics=metrics
+        )
+        fuzzer.add_corpus(FuzzInput("void run() { int s = 0; }", ()))
+        fuzzer.add_corpus(FuzzInput("void run() { int a = 0; }", ()))
+        assert metrics.snapshot()["counters"]["fuzz.corpus_saturated"] == 1
+
+    def test_saturated_campaign_still_promotes_and_stays_deterministic(self):
+        """The bugfix's acceptance: with a tight corpus cap the campaign
+        keeps promoting (evicting deterministically) and the report is
+        still byte-identical across worker counts."""
+
+        def one_run(workers):
+            with ServiceEngine(workers=workers, use_cache=False) as engine:
+                return engine.fuzz_campaign(
+                    seed=7,
+                    iterations=300,
+                    minimize=False,
+                    max_corpus=28,
+                    batch_size=60,
+                )
+
+        first = one_run(4)
+        second = one_run(2)
+        assert first.corpus_saturated > 0
+        assert first.corpus_size == 28
+        assert first.to_json() == second.to_json()
 
 
 class TestReportAndTriage:
@@ -192,7 +300,7 @@ class TestFuzzCli:
         )
         assert code == 0
         data = json.loads(out.read_text())
-        assert data["schema"] == 1
+        assert data["schema"] == 2
         assert data["untriaged"] == 0
         rendered = capsys.readouterr().out
         assert "family reach" in rendered

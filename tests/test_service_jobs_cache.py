@@ -169,6 +169,52 @@ class TestCacheWriteFailures:
         assert cache.write_errors == 8 * 50  # every disk write failed, quietly
         assert cache.stores == 8 * 50
 
+    def test_put_swallows_unserializable_value_and_counts_it(self, tmp_path):
+        """json.dumps must run inside the guarded region: a worker result
+        that is not JSON-able is a write error, never an exception out of
+        a job that already succeeded."""
+        cache = ResultCache(directory=str(tmp_path), version="v1")
+        poison = {"handle": object(), "ok": True}  # not JSON-serializable
+        assert cache.put("job-poison", poison) is False  # no raise
+        assert cache.write_errors == 1
+        # the in-memory tier still serves the value
+        assert cache.get("job-poison") is poison
+        # nothing half-written reached the disk tier
+        assert not list((tmp_path / "v1").glob("*"))
+
+    def test_unserializable_result_keeps_job_succeeded(self, tmp_path):
+        """End to end through the scheduler: a cacheable job whose worker
+        returns a non-JSON-able dict completes SUCCEEDED with the cache
+        counting the write error."""
+        from dataclasses import dataclass
+
+        from repro.service import (
+            Job,
+            JobStatus,
+            MetricsRegistry,
+            Scheduler,
+            WorkerPool,
+            register_worker,
+        )
+
+        @dataclass(frozen=True)
+        class PoisonJob(Job):
+            token: str = ""
+
+            KIND = "test-poison"
+
+        register_worker(
+            "test-poison", lambda payload: {"handle": object(), "ok": True}
+        )
+        cache = ResultCache(directory=str(tmp_path), version="v1")
+        with Scheduler(
+            pool=WorkerPool(max_workers=2), cache=cache, metrics=MetricsRegistry()
+        ) as scheduler:
+            outcome = scheduler.submit(PoisonJob(token="x")).outcome(timeout=10)
+            assert outcome.status is JobStatus.SUCCEEDED
+            assert outcome.result["ok"] is True
+            assert cache.write_errors == 1
+
     def test_concurrent_writers_same_key_keep_entry_parseable(self, tmp_path):
         import json as json_module
         import threading
