@@ -1,0 +1,7 @@
+// package: pkg-00-leak
+char pool[256];
+void run() {
+  readFile("/etc/passwd", pool, 256);
+  char *userdata = new (pool) char[256];
+  store(userdata);
+}

@@ -1,0 +1,9 @@
+// package: pkg-01-leak
+// imports: pkg-00-leak
+char pool[256];
+void run() {
+  readFile("/etc/passwd", pool, 256);
+  memset(pool, 0, 256);
+  char *userdata = new (pool) char[256];
+  store(userdata);
+}

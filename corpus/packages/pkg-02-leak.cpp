@@ -1,0 +1,9 @@
+// package: pkg-02-leak
+// imports: pkg-00-leak
+char pool[128];
+void run() {
+  readFile("/etc/passwd", pool, 128);
+  memset(pool, 0, 128);
+  char *userdata = new (pool) char[128];
+  store(userdata);
+}

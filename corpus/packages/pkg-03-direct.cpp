@@ -1,0 +1,8 @@
+// package: pkg-03-direct
+// imports: pkg-01-leak, pkg-02-leak
+class Small { public: int f0; short f1; int f2; };
+class Big : public Small { public: char g0; double g1; short g2; char g3; };
+void run() {
+  Big arena;
+  Small *p = new (&arena) Small();
+}

@@ -1,0 +1,8 @@
+// package: pkg-04-leak
+char pool[256];
+void run() {
+  readFile("/etc/passwd", pool, 256);
+  memset(pool, 0, 256);
+  char *userdata = new (pool) char[256];
+  store(userdata);
+}

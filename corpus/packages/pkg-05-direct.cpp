@@ -1,0 +1,8 @@
+// package: pkg-05-direct
+// imports: pkg-00-leak, pkg-01-leak, pkg-03-direct
+class Small { public: char f0; short f1; double f2; };
+class Big : public Small { public: int g0; char g1; char g2; };
+void run() {
+  Big arena;
+  Small *p = new (&arena) Small();
+}

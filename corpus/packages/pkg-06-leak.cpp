@@ -1,0 +1,8 @@
+// package: pkg-06-leak
+char pool[128];
+void run() {
+  readFile("/etc/passwd", pool, 128);
+  memset(pool, 0, 128);
+  char *userdata = new (pool) char[128];
+  store(userdata);
+}

@@ -1,0 +1,6 @@
+// package: pkg-08-tainted-array
+// imports: pkg-00-leak
+char pool[32];
+void run() {
+  char *buf = new (pool) char[15];
+}

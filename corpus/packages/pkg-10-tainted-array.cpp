@@ -1,0 +1,6 @@
+// package: pkg-10-tainted-array
+// imports: pkg-01-leak, pkg-03-direct, pkg-07-leak
+char pool[256];
+void run() {
+  char *buf = new (pool) char[73];
+}

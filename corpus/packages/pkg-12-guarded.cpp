@@ -1,0 +1,10 @@
+// package: pkg-12-guarded
+// imports: pkg-05-direct, pkg-07-leak, pkg-08-tainted-array
+class Small { public: short f0; short f1; double f2; char f3; };
+class Big : public Small { public: int g0; int g1; double g2; };
+void run() {
+  Big arena;
+  if (sizeof(Small) <= sizeof(Big)) {
+    Small *p = new (&arena) Small();
+  }
+}

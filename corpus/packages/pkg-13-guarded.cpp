@@ -1,0 +1,10 @@
+// package: pkg-13-guarded
+// imports: pkg-01-leak, pkg-07-leak
+class Small { public: short f0; float f1; short f2; short f3; };
+class Big : public Small { public: char g0; };
+void run() {
+  Big arena;
+  if (sizeof(Small) <= sizeof(Big)) {
+    Small *p = new (&arena) Small();
+  }
+}

@@ -1,0 +1,13 @@
+// package: pkg-14-dos-loop
+// imports: pkg-02-leak, pkg-07-leak
+class Tiny { public: int f0; };
+class Wide : public Tiny { public: int g0; int g1; };
+void run() {
+  Wide arena;
+  Tiny *p = new (&arena) Tiny();
+  cin >> p->f0;
+  int i = 0;
+  while (i < p->f0 && i < 8) {
+    i = i + 1;
+  }
+}

@@ -1,0 +1,12 @@
+// package: pkg-15-dos-loop
+class Tiny { public: int f0; };
+class Wide : public Tiny { public: int g0; int g1; };
+void run() {
+  Wide arena;
+  Tiny *p = new (&arena) Tiny();
+  cin >> p->f0;
+  int i = 0;
+  while (i < p->f0 && i < 8) {
+    i = i + 1;
+  }
+}

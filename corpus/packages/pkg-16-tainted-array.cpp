@@ -1,0 +1,6 @@
+// package: pkg-16-tainted-array
+// imports: pkg-13-guarded
+char pool[128];
+void run() {
+  char *buf = new (pool) char[25];
+}

@@ -1,0 +1,8 @@
+// package: pkg-17-direct
+// imports: pkg-07-leak
+class Small { public: int f0; };
+class Big : public Small { public: float g0; float g1; int g2; float g3; };
+void run() {
+  Small arena;
+  Big *p = new (&arena) Big();
+}

@@ -1,0 +1,8 @@
+// package: pkg-18-direct
+// imports: pkg-17-direct
+class Small { public: char f0; double f1; int f2; };
+class Big : public Small { public: float g0; float g1; short g2; };
+void run() {
+  Small arena;
+  Big *p = new (&arena) Big();
+}

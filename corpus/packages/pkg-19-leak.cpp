@@ -1,0 +1,8 @@
+// package: pkg-19-leak
+// imports: pkg-02-leak, pkg-13-guarded
+char pool[64];
+void run() {
+  readFile("/etc/passwd", pool, 64);
+  char *userdata = new (pool) char[64];
+  store(userdata);
+}

@@ -1,0 +1,12 @@
+// package: pkg-20-helper
+// imports: pkg-00-leak, pkg-03-direct, pkg-12-guarded
+class Small { public: float f0; short f1; short f2; };
+class Big : public Small { public: float g0; double g1; };
+Small *helper(Big *where) {
+  Small *p = new (where) Small();
+  return p;
+}
+void run() {
+  Big arena;
+  Small *p = helper(&arena);
+}

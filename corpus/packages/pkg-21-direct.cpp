@@ -1,0 +1,7 @@
+// package: pkg-21-direct
+class Small { public: char f0; int f1; int f2; };
+class Big : public Small { public: char g0; char g1; short g2; char g3; };
+void run() {
+  Big arena;
+  Small *p = new (&arena) Small();
+}

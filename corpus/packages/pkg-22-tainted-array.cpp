@@ -1,0 +1,6 @@
+// package: pkg-22-tainted-array
+// imports: pkg-13-guarded
+char pool[64];
+void run() {
+  char *buf = new (pool) char[20];
+}

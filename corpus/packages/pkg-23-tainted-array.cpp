@@ -1,0 +1,6 @@
+// package: pkg-23-tainted-array
+// imports: pkg-01-leak, pkg-06-leak, pkg-20-helper
+char pool[64];
+void run() {
+  char *buf = new (pool) char[9];
+}

@@ -36,6 +36,12 @@
     store, ``rebaseline`` re-asserts expectations after an intentional
     detector change, and ``gc`` sweeps unreadable or tampered bundles.
 
+``repro-score``
+    Rank a multi-package MiniC++ corpus by propagated blast radius
+    (see docs/SCORING.md): ``score`` prints per-package CWE/CAPEC
+    risks, ``rank`` prints the corpus ranking (``--json`` is
+    byte-stable), and ``diff`` compares two saved reports.
+
 All front ends exit with status 2 on bad input (missing files,
 unknown attack/environment names, malformed arguments), so scripts and
 service workers can tell usage errors from real findings.
@@ -184,6 +190,18 @@ def analyze_main(argv: Optional[Sequence[str]] = None) -> int:
             (name, analyze_source(source), source) for name, source in sources
         ]
 
+    if args.json:
+        import json
+
+        from .score.threats import scoring_versions
+
+        print(
+            json.dumps(
+                {"fingerprint": scoring_versions(), "tool": "repro-analyze"},
+                indent=2,
+                sort_keys=True,
+            )
+        )
     any_flagged = False
     for name, report, source in reports:
         any_flagged = any_flagged or report.flagged
@@ -1004,6 +1022,178 @@ def regress_main(argv: Optional[Sequence[str]] = None) -> int:
         return _fail("--jobs must be >= 0")
     if getattr(args, "chunk_size", 1) < 1:
         return _fail("--chunk-size must be >= 1")
+    return args.func(args)
+
+
+def _score_graph_from(args):
+    """Build the package graph named by ``args.packages``; None + exit
+    code on bad input."""
+    from .score import demo_graph, load_package_dir
+
+    if getattr(args, "demo", False):
+        return demo_graph(), None
+    try:
+        return load_package_dir(args.packages), None
+    except FileNotFoundError as error:
+        return None, _fail(str(error))
+    except ValueError as error:
+        return None, _fail(str(error))
+
+
+def _score_corpus(args):
+    """Score the graph sequentially or over the service pool."""
+    from .score import score_graph
+
+    graph, error = _score_graph_from(args)
+    if graph is None:
+        return None, error
+    if not 0.0 <= args.attenuation <= 1.0:
+        return None, _fail("--attenuation must be in [0, 1]")
+    if args.jobs == 0:
+        return score_graph(graph, attenuation=args.attenuation), None
+    from .service import ServiceEngine
+
+    with ServiceEngine(workers=args.jobs, backend=args.backend) as engine:
+        return engine.score_corpus(graph, attenuation=args.attenuation), None
+
+
+def _score_score(args) -> int:
+    score, error = _score_corpus(args)
+    if score is None:
+        return error
+    if args.json:
+        print(score.to_json())
+        return 0
+    for name in score.ranking:
+        entry = score.entry(name)
+        print(
+            f"── {name} ── intrinsic {entry.intrinsic}, "
+            f"blast {entry.blast_radius:.2f}, exposure {entry.exposure:.2f}"
+        )
+        for risk in entry.risks:
+            cwes = ",".join(f"CWE-{n}" for n in risk["cwe"])
+            print(
+                f"  line {risk['line']:>3}  {risk['trigger']:<28} "
+                f"{risk['threat']} ({cwes})  "
+                f"{risk['likelihood']}/{risk['impact']} score={risk['score']}"
+            )
+        if not entry.risks:
+            print("  no intrinsic risks")
+    return 0
+
+
+def _score_rank(args) -> int:
+    score, error = _score_corpus(args)
+    if score is None:
+        return error
+    output = score.to_json() if args.json else score.render(top=args.top)
+    if args.out:
+        try:
+            with open(args.out, "w") as handle:
+                handle.write(output + "\n")
+        except OSError as error:
+            return _fail(f"cannot write {args.out}: {error.strerror or error}")
+        print(f"wrote {args.out}")
+        return 0
+    print(output)
+    return 0
+
+
+def _score_diff(args) -> int:
+    import json
+
+    from .score import diff_score_reports
+
+    documents = []
+    for path in (args.before, args.after):
+        try:
+            with open(path) as handle:
+                documents.append(json.load(handle))
+        except OSError as error:
+            return _fail(f"cannot read {path}: {error.strerror or error}")
+        except ValueError as error:
+            return _fail(f"{path} is not a score report: {error}")
+    lines = diff_score_reports(documents[0], documents[1])
+    for line in lines:
+        print(line)
+    if not lines:
+        print("reports are equivalent")
+    return 1 if lines else 0
+
+
+def score_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``repro-score``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-score",
+        description="CWE/CAPEC risk scoring with dependency-graph "
+        "blast-radius propagation (see docs/SCORING.md)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub_parser):
+        sub_parser.add_argument(
+            "packages",
+            nargs="?",
+            default="corpus/packages",
+            help="package corpus directory (default: corpus/packages)",
+        )
+        sub_parser.add_argument(
+            "--demo",
+            action="store_true",
+            help="score the built-in demo graph instead of a directory",
+        )
+        sub_parser.add_argument(
+            "--attenuation",
+            type=float,
+            default=0.5,
+            help="depth attenuation for propagated score (default: 0.5)",
+        )
+        sub_parser.add_argument(
+            "--jobs",
+            type=int,
+            default=0,
+            metavar="N",
+            help="fan package scoring over N service workers; "
+            "0 = in-process sequential (default: 0)",
+        )
+        sub_parser.add_argument(
+            "--backend",
+            choices=("thread", "process"),
+            default="thread",
+            help="service worker backend (default: thread)",
+        )
+        sub_parser.add_argument(
+            "--json",
+            action="store_true",
+            help="emit the byte-stable JSON report",
+        )
+
+    score_parser = sub.add_parser(
+        "score", help="per-package risks with CWE/CAPEC attribution"
+    )
+    add_common(score_parser)
+    score_parser.set_defaults(func=_score_score)
+
+    rank_parser = sub.add_parser(
+        "rank", help="corpus ranking by propagated blast radius"
+    )
+    add_common(rank_parser)
+    rank_parser.add_argument(
+        "--top", type=int, default=0, help="show only the top N packages"
+    )
+    rank_parser.add_argument("--out", help="write the report to a file")
+    rank_parser.set_defaults(func=_score_rank)
+
+    diff_parser = sub.add_parser(
+        "diff", help="compare two saved JSON score reports"
+    )
+    diff_parser.add_argument("before", help="baseline score report (JSON)")
+    diff_parser.add_argument("after", help="new score report (JSON)")
+    diff_parser.set_defaults(func=_score_diff)
+
+    args = parser.parse_args(argv)
+    if getattr(args, "jobs", 0) < 0:
+        return _fail("--jobs must be >= 0")
     return args.func(args)
 
 

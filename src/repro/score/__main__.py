@@ -1,0 +1,8 @@
+"""``python -m repro.score`` — the repro-score front end."""
+
+import sys
+
+from ..cli import score_main
+
+if __name__ == "__main__":
+    sys.exit(score_main())

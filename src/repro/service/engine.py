@@ -332,6 +332,57 @@ class ServiceEngine:
             self.metrics.counter("regress.drift_total").inc(drifted)
         return report
 
+    # -- risk scoring ------------------------------------------------------
+
+    def score_corpus(self, graph, attenuation: Optional[float] = None):
+        """Score a package graph over the worker pool.
+
+        ``graph`` is a :class:`repro.score.PackageGraph` or a package
+        directory path.  Per-package scoring fans out as ``score``
+        jobs; propagation runs in-process once every package's risks
+        are back.  Results are collected in submission (sorted-name)
+        order, so the returned :class:`repro.score.CorpusScore` is
+        byte-identical to :func:`repro.score.score_graph` at any
+        worker count.
+        """
+        from ..score.packages import PackageGraph, load_package_dir
+        from ..score.propagate import DEFAULT_ATTENUATION, score_packages
+        from ..score.threats import registry_version
+        from .jobs import ScoreJob
+
+        if not isinstance(graph, PackageGraph):
+            graph = load_package_dir(graph)
+        if attenuation is None:
+            attenuation = DEFAULT_ATTENUATION
+        registry = registry_version()
+        names = graph.names()
+        handles = [
+            self.scheduler.submit(
+                ScoreJob(
+                    source=graph.package(name).source,
+                    label=name,
+                    registry=registry,
+                ),
+                priority=NORMAL_PRIORITY,
+            )
+            for name in names
+        ]
+        risks_by_package = {
+            name: handle.result()["risks"]
+            for name, handle in zip(names, handles)
+        }
+        score = score_packages(graph, risks_by_package, attenuation)
+        totals = score.totals
+        self.metrics.counter("score.packages_scored").inc(totals["packages"])
+        self.metrics.counter("score.risks_found").inc(totals["risks"])
+        self.metrics.gauge("score.flawed_packages").set(
+            totals["flawed_packages"]
+        )
+        self.metrics.gauge("score.max_blast_radius").set(
+            totals["max_blast_radius"]
+        )
+        return score
+
     # -- introspection -----------------------------------------------------
 
     def metrics_snapshot(self) -> dict:

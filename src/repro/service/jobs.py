@@ -64,6 +64,22 @@ class AnalyzeJob(Job):
 
 
 @dataclass(frozen=True)
+class ScoreJob(Job):
+    """Score one package's source through the threat registry.
+
+    ``registry`` carries the threat-registry digest at submit time, so
+    cached results are invalidated when the registry changes even
+    though the source text did not.
+    """
+
+    source: str
+    label: str = ""
+    registry: str = ""
+
+    KIND = "score"
+
+
+@dataclass(frozen=True)
 class AttackJob(Job):
     """Run one gallery attack under one defense environment."""
 

@@ -251,6 +251,24 @@ def run_regress_replay(payload: dict) -> dict:
     }
 
 
+def run_score(payload: dict) -> dict:
+    """Worker for :class:`ScoreJob`: one package's risk dicts.
+
+    Propagation needs the whole graph and stays in the engine; the
+    worker does only the per-package half (parse + detect + registry
+    mapping), which is the expensive part.  Lazily imported so process
+    workers don't pay for the registry until they score.
+    """
+    from ..score.propagate import analyze_package_source
+
+    return {
+        "label": payload.get("label", ""),
+        "risks": analyze_package_source(
+            payload["source"], payload.get("label", "")
+        ),
+    }
+
+
 #: Kind → worker function.  Extensible at runtime (thread backend only).
 WORKER_REGISTRY: dict = {
     "analyze": run_analyze,
@@ -259,6 +277,7 @@ WORKER_REGISTRY: dict = {
     "exec": run_exec,
     "fuzz-campaign": run_fuzz_campaign,
     "regress-replay": run_regress_replay,
+    "score": run_score,
 }
 
 

@@ -14,6 +14,7 @@ from .generators import (
     DetectorScore,
     GeneratedProgram,
     generate_corpus,
+    generate_package_corpus,
     generate_program,
     score_detector,
 )
@@ -27,6 +28,7 @@ __all__ = [
     "GeneratedProgram",
     "corpus_sources",
     "generate_corpus",
+    "generate_package_corpus",
     "generate_program",
     "make_mobile_player",
     "make_someclass",

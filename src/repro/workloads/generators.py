@@ -289,6 +289,31 @@ def generate_corpus(
     return programs
 
 
+def generate_package_corpus(seed: int, count: int) -> list:
+    """A reproducible multi-package corpus for dependency scoring.
+
+    Returns ``(name, imports, source)`` tuples.  Each package wraps one
+    generated program (~35% vulnerable, drawn from every shape family)
+    and imports a random subset of *earlier* packages, so the declared
+    graph is a DAG by construction.  ``repro.score`` turns these into a
+    :class:`~repro.score.PackageGraph`; ``corpus/packages/`` ships the
+    rendering of seed 2026.
+    """
+    rng = random.Random(seed)
+    packages = []
+    names: list = []
+    for index in range(count):
+        vulnerable = rng.random() < 0.35
+        shape = rng.choice(ALL_SHAPES)
+        program = generate_program(rng, vulnerable, shape)
+        name = f"pkg-{index:02d}-{shape}"
+        fanin = min(len(names), rng.randint(0, 3))
+        imports = tuple(sorted(rng.sample(names, fanin))) if fanin else ()
+        packages.append((name, imports, program.source))
+        names.append(name)
+    return packages
+
+
 @dataclass(frozen=True)
 class DetectorScore:
     """Precision/recall of one analyzer over a generated batch."""

@@ -1,7 +1,55 @@
 """Tests for the command-line front ends."""
 
+import pytest
 
 from repro.cli import analyze_main, attacks_main
+
+
+class TestSharedExitConvention:
+    """Every front end exits 2 (EX_USAGE) on bad input."""
+
+    @pytest.mark.parametrize(
+        ("entry_point", "argv"),
+        [
+            ("repro.cli:attacks_main", ["--env", "no-such-env"]),
+            ("repro.cli:analyze_main", ["/no/such/file.cpp"]),
+            ("repro.cli:exec_main", ["/no/such/file.cpp"]),
+            ("repro.cli:serve_main", ["--workers", "0"]),
+            ("repro.cli:fuzz_main", ["run", "--jobs", "-1"]),
+            ("repro.cli:regress_main", ["list", "--store", "/no/such/store"]),
+            ("repro.cli:score_main", ["rank", "/no/such/packages"]),
+            ("repro.bench:bench_main", ["--benchmarks-dir", "/no/such/dir"]),
+        ],
+    )
+    def test_bad_input_exits_2(self, entry_point, argv, capsys):
+        import importlib
+
+        module_name, function_name = entry_point.split(":")
+        main = getattr(importlib.import_module(module_name), function_name)
+        assert main(argv) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_every_project_script_is_covered(self):
+        # The parametrized list above must track pyproject [project.scripts].
+        from pathlib import Path
+
+        pyproject = (
+            Path(__file__).resolve().parent.parent / "pyproject.toml"
+        ).read_text()
+        scripts_section = pyproject.split("[project.scripts]")[1]
+        scripts_section = scripts_section.split("\n[")[0]
+        entry_points = {
+            line.split("=")[1].strip().strip('"')
+            for line in scripts_section.splitlines()
+            if "=" in line
+        }
+        covered = {
+            param[0]
+            for mark in TestSharedExitConvention.test_bad_input_exits_2.pytestmark
+            if mark.name == "parametrize"
+            for param in mark.args[1]
+        }
+        assert entry_points == covered
 
 
 class TestAttacksCli:

@@ -120,7 +120,12 @@ class TestCliExtensions:
             "void f() { B *b = new (&arena) B(); }\n"
         )
         analyze_main([str(source), "--json"])
-        payload = json.loads(capsys.readouterr().out)
+        out = capsys.readouterr().out
+        boundary = out.index("}\n{") + 1
+        header = json.loads(out[:boundary])
+        payload = json.loads(out[boundary:])
+        assert header["tool"] == "repro-analyze"
+        assert header["fingerprint"]["detector"]
         assert payload["tool"] == "placement-analyzer"
         rules = {finding["rule"] for finding in payload["findings"]}
         assert "PN-OVERSIZE" in rules

@@ -1,0 +1,208 @@
+"""Tests for the CWE/CAPEC threat registry."""
+
+import pytest
+
+from repro.score.threats import (
+    DEFAULT_THREATLIB,
+    Impact,
+    Likelihood,
+    ScoreTarget,
+    Threat,
+    Threatlib,
+    attack_names,
+    coverage_gaps,
+    detector_rule_ids,
+    legacy_rule_ids,
+    registry_version,
+    risks_from_matrix,
+    risks_from_report,
+    scoring_versions,
+    triage_class_ids,
+)
+
+
+class TestRegistryCompleteness:
+    """New rules must not silently ship unscored."""
+
+    def test_no_coverage_gaps(self):
+        assert coverage_gaps() == {}
+
+    def test_every_detector_rule_is_mapped(self):
+        triggers = DEFAULT_THREATLIB.triggers()
+        for rule in detector_rule_ids():
+            assert rule in triggers, f"detector rule {rule} has no threat"
+
+    def test_every_legacy_rule_is_mapped(self):
+        triggers = DEFAULT_THREATLIB.triggers()
+        for rule in legacy_rule_ids():
+            assert rule in triggers, f"legacy rule {rule} has no threat"
+
+    def test_every_triage_class_is_mapped(self):
+        triggers = DEFAULT_THREATLIB.triggers()
+        for label in triage_class_ids():
+            assert label in triggers, f"triage class {label} has no threat"
+
+    def test_every_attack_is_mapped(self):
+        triggers = DEFAULT_THREATLIB.triggers()
+        for name in attack_names():
+            assert name in triggers, f"attack {name} has no threat"
+
+    def test_rule_enumeration_is_not_empty(self):
+        # The inspect-based extraction must keep finding the rules.
+        assert len(detector_rule_ids()) >= 10
+        assert len(legacy_rule_ids()) >= 4
+        assert len(triage_class_ids()) >= 6
+        assert len(attack_names()) >= 24
+
+    def test_gaps_reported_for_incomplete_registry(self):
+        lib = Threatlib()
+        lib.register(
+            Threat(
+                "CAPEC-100",
+                "Overflow Buffers",
+                capec="",
+                cwe_ids=(120,),
+                likelihood=Likelihood.VERY_LIKELY,
+                impact=Impact.VERY_HIGH,
+                applies_to=("PN-OVERSIZE",),
+            )
+        )
+        gaps = coverage_gaps(lib)
+        assert "PN-LEAK" in gaps["detector_rules"]
+        assert "CLASSIC-ALLOCA" in gaps["legacy_rules"]
+        assert gaps["triage_classes"]
+        assert gaps["attacks"]
+
+
+class TestThreatApply:
+    def _target(self, severity="error"):
+        return ScoreTarget(
+            kind="finding", trigger="PN-OVERSIZE", severity=severity
+        )
+
+    def test_error_finding_gets_base_grade(self):
+        risk = DEFAULT_THREATLIB.apply(self._target())
+        assert risk.score == 12
+        assert risk.threat.threat_id == "CAPEC-100"
+
+    def test_warning_finding_is_attenuated(self):
+        error = DEFAULT_THREATLIB.apply(self._target("error"))
+        warning = DEFAULT_THREATLIB.apply(self._target("warning"))
+        assert warning.score < error.score
+        assert warning.impact == error.impact
+
+    def test_info_finding_scores_one(self):
+        assert DEFAULT_THREATLIB.apply(self._target("info")).score == 1
+
+    def test_unknown_trigger_maps_to_nothing(self):
+        target = ScoreTarget(kind="finding", trigger="PN-NOT-A-RULE")
+        assert DEFAULT_THREATLIB.apply(target) is None
+
+    def test_unknown_kind_maps_to_nothing(self):
+        target = ScoreTarget(kind="rumor", trigger="PN-OVERSIZE")
+        assert DEFAULT_THREATLIB.apply(target) is None
+
+    def test_matrix_cell_requires_attack_wins(self):
+        won = ScoreTarget(
+            kind="matrix-cell", trigger="heap-overflow", outcome="ATTACK-WINS"
+        )
+        stopped = ScoreTarget(
+            kind="matrix-cell", trigger="heap-overflow", outcome="prevented"
+        )
+        assert DEFAULT_THREATLIB.apply(won) is not None
+        assert DEFAULT_THREATLIB.apply(stopped) is None
+
+    def test_duplicate_trigger_claim_is_rejected(self):
+        lib = Threatlib()
+        threat = Threat(
+            "X-1",
+            "first",
+            capec="",
+            cwe_ids=(1,),
+            likelihood=Likelihood.LIKELY,
+            impact=Impact.LOW,
+            applies_to=("PN-OVERSIZE",),
+        )
+        lib.register(threat)
+        with pytest.raises(ValueError, match="PN-OVERSIZE"):
+            lib.register(
+                Threat(
+                    "X-2",
+                    "second",
+                    capec="",
+                    cwe_ids=(2,),
+                    likelihood=Likelihood.LIKELY,
+                    impact=Impact.LOW,
+                    applies_to=("PN-OVERSIZE",),
+                )
+            )
+
+    def test_risk_dict_keys_are_sorted(self):
+        risk = DEFAULT_THREATLIB.apply(self._target())
+        assert list(risk.to_dict()) == sorted(risk.to_dict())
+
+
+class TestVersions:
+    def test_registry_version_is_stable(self):
+        assert registry_version() == registry_version()
+        assert len(registry_version()) == 12
+
+    def test_registry_version_tracks_content(self):
+        lib = Threatlib()
+        lib.register(
+            Threat(
+                "X-1",
+                "only",
+                capec="",
+                cwe_ids=(1,),
+                likelihood=Likelihood.LIKELY,
+                impact=Impact.LOW,
+                applies_to=("PN-OVERSIZE",),
+            )
+        )
+        assert registry_version(lib) != registry_version()
+
+    def test_scoring_versions_extends_current_versions(self):
+        from repro.regress.store import current_versions
+
+        versions = scoring_versions()
+        for key, value in current_versions().items():
+            assert versions[key] == value
+        assert versions["threat_registry"] == registry_version()
+
+
+class TestEvidenceAdapters:
+    def test_risks_from_report_orders_by_finding(self):
+        from repro.analysis import analyze_source
+
+        source = (
+            "class A { public: double d; };\n"
+            "class B : public A { public: int x[8]; };\n"
+            "A arena;\n"
+            "void f() { B *b = new (&arena) B(); }\n"
+        )
+        risks = risks_from_report("demo", analyze_source(source))
+        assert risks
+        assert risks[0].target.trigger == "PN-OVERSIZE"
+        assert [r.target.line for r in risks] == sorted(
+            r.target.line for r in risks
+        )
+
+    def test_risks_from_matrix_only_counts_wins(self):
+        matrix = {
+            "cells": [
+                {
+                    "attack": "heap-overflow",
+                    "defense": "unprotected",
+                    "summary": "ATTACK-WINS",
+                },
+                {
+                    "attack": "heap-overflow",
+                    "defense": "bounds-check",
+                    "summary": "detected(bounds-check)",
+                },
+            ]
+        }
+        risks = risks_from_matrix(matrix)
+        assert len(risks) == 1
+        assert risks[0].target.detail == "defense=unprotected"
