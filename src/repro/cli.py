@@ -418,8 +418,18 @@ def _load_report(path: str):
 
 
 def _fuzz_run(args) -> int:
-    from .fuzz import FuzzConfig, run_campaign
+    import signal
+    import threading
 
+    from .fuzz import (
+        CampaignInterrupted,
+        CheckpointError,
+        FuzzConfig,
+        run_campaign,
+    )
+
+    if args.resume and not args.checkpoint_dir:
+        return _fail("--resume requires --checkpoint-dir")
     config = FuzzConfig(
         seed=args.seed,
         iterations=args.iterations,
@@ -433,21 +443,73 @@ def _fuzz_run(args) -> int:
         from .regress import RegressionStore
 
         store = RegressionStore(args.record)
-    if args.jobs > 0:
-        from .service import ServiceEngine
 
-        with ServiceEngine(
-            workers=args.jobs, backend=args.backend, use_cache=False
-        ) as engine:
+    # First Ctrl-C: graceful round-boundary stop (drain the in-flight
+    # round, write a checkpoint).  Second Ctrl-C: abort hard via the
+    # usual KeyboardInterrupt path.
+    stop_event = threading.Event()
+
+    def _request_stop(signum, frame):
+        if stop_event.is_set():
+            raise KeyboardInterrupt
+        stop_event.set()
+        print(
+            "interrupt: finishing the current round and writing a "
+            "checkpoint... (Ctrl-C again to abort hard)",
+            file=sys.stderr,
+        )
+
+    previous_handler = None
+    try:
+        previous_handler = signal.signal(signal.SIGINT, _request_stop)
+    except ValueError:  # pragma: no cover - non-main thread
+        pass
+    campaign_kwargs = dict(
+        store=store,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+        skip_version_check=args.skip_version_check,
+        stop_event=stop_event,
+        stop_after_rounds=args.stop_after or None,
+    )
+    try:
+        if args.jobs > 0:
+            from .service import ServiceEngine
+
+            with ServiceEngine(
+                workers=args.jobs, backend=args.backend, use_cache=False
+            ) as engine:
+                report = run_campaign(
+                    config,
+                    engine=engine,
+                    batch_size=args.batch_size,
+                    batch_timeout=args.batch_timeout,
+                    **campaign_kwargs,
+                )
+        else:
             report = run_campaign(
-                config,
-                engine=engine,
-                batch_size=args.batch_size,
-                batch_timeout=args.batch_timeout,
-                store=store,
+                config, batch_size=args.batch_size, **campaign_kwargs
             )
-    else:
-        report = run_campaign(config, store=store)
+    except CampaignInterrupted as interrupted:
+        print(f"fuzz: {interrupted}", file=sys.stderr)
+        if interrupted.checkpoint_path is not None:
+            print(
+                "fuzz: resume with 'repro-fuzz run --resume "
+                f"--checkpoint-dir {args.checkpoint_dir}'",
+                file=sys.stderr,
+            )
+        return 130
+    except CheckpointError as error:
+        return _fail(str(error))
+    finally:
+        if previous_handler is not None:
+            signal.signal(signal.SIGINT, previous_handler)
+    if getattr(report, "record_errors", 0):
+        print(
+            f"warning: {report.record_errors} divergence(s) could not be "
+            "recorded to the regression store (fuzz.record_errors)",
+            file=sys.stderr,
+        )
     if store is not None:
         print(
             f"recorded {len(report.divergences)} divergence(s) into "
@@ -635,6 +697,32 @@ def fuzz_main(argv: Optional[Sequence[str]] = None) -> int:
         help="record every minimized divergence into this regression "
         "store (see repro-regress / docs/REGRESSION.md)",
     )
+    run_parser.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        help="write a resumable checkpoint after the seed pass and after "
+        "every completed round (see docs/FUZZING.md)",
+    )
+    run_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue from the newest checkpoint in --checkpoint-dir "
+        "instead of starting over",
+    )
+    run_parser.add_argument(
+        "--skip-version-check",
+        action="store_true",
+        help="resume even if the checkpoint was recorded under different "
+        "detector/simulator/triage versions (verdicts may mix regimes)",
+    )
+    run_parser.add_argument(
+        "--stop-after",
+        type=int,
+        default=0,
+        metavar="ROUNDS",
+        help="gracefully stop after N completed rounds this invocation, "
+        "writing a checkpoint and exiting 130 (0 = run to completion)",
+    )
     run_parser.add_argument("--out", help="write the JSON report to this file")
     run_parser.add_argument(
         "--json", action="store_true", help="print the JSON report to stdout"
@@ -682,7 +770,14 @@ def fuzz_main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     if getattr(args, "jobs", 0) < 0:
         return _fail("--jobs must be >= 0")
-    return args.func(args)
+    try:
+        return args.func(args)
+    except KeyboardInterrupt:
+        # A hard abort (second Ctrl-C, or an interrupt outside the
+        # graceful-stop window).  The engine's ``with`` block has
+        # already drained its pool on the way out.
+        print("fuzz: interrupted", file=sys.stderr)
+        return 130
 
 
 def _open_store(directory: str, create: bool = False):
@@ -1022,7 +1117,14 @@ def regress_main(argv: Optional[Sequence[str]] = None) -> int:
         return _fail("--jobs must be >= 0")
     if getattr(args, "chunk_size", 1) < 1:
         return _fail("--chunk-size must be >= 1")
-    return args.func(args)
+    try:
+        return args.func(args)
+    except KeyboardInterrupt:
+        # Replay fans out over a worker pool; the engine's ``with``
+        # block drains it on the way out, so exiting here cannot
+        # orphan workers.
+        print("regress: interrupted", file=sys.stderr)
+        return 130
 
 
 def _score_graph_from(args):

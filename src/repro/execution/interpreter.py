@@ -64,6 +64,23 @@ _NOOP_BUILTINS = {"processOne", "log", "send", "validate", "audit"}
 DEFAULT_STEP_BUDGET = 100_000
 
 
+def _atoi(text: str) -> int:
+    """C ``atoi``: skip leading whitespace, accept an optional sign and
+    leading digits, and return 0 when no digits are found."""
+    index, length = 0, len(text)
+    while index < length and text[index].isspace():
+        index += 1
+    start = index
+    if index < length and text[index] in "+-":
+        index += 1
+    digits_from = index
+    while index < length and text[index].isdigit():
+        index += 1
+    if index == digits_from:
+        return 0
+    return int(text[start:index])
+
+
 class _ReturnSignal(Exception):
     """Internal: unwinds the interpreter on ``return``."""
 
@@ -779,6 +796,26 @@ class Interpreter:
             target = self._expect_int(self.eval(expr.args[0], scope))
             result = self.machine.call_function_pointer(target)
             return result.return_value
+        if name == "getenv":
+            # The simulated environment is attacker-controlled, like the
+            # fuzzer's stdin: each getenv() consumes one input token and
+            # yields its decimal rendering (declaration-site coercion
+            # materializes it as a C string when bound to a char*).
+            for arg in expr.args:
+                self.eval(arg, scope)
+            token = self.machine.stdin.read_int()
+            self.machine.record_event("getenv()")
+            return str(token)
+        if name == "atoi":
+            source = self.eval(expr.args[0], scope)
+            text = (
+                source
+                if isinstance(source, str)
+                else self.machine.space.read_c_string(
+                    self._expect_int(source)
+                )
+            )
+            return _atoi(text)
         # A class-name "call" evaluates its args (temporary object value
         # semantics are handled at the declaration site).
         if self.symbols.is_class(name):

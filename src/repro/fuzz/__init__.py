@@ -10,11 +10,19 @@ report.  See docs/FUZZING.md for the campaign lifecycle.
 """
 
 from .campaign import (
+    CampaignInterrupted,
     DifferentialFuzzer,
     FuzzConfig,
     batch_rng,
     run_batch,
     run_campaign,
+)
+from .checkpoint import (
+    CampaignCheckpoint,
+    CheckpointError,
+    CheckpointStore,
+    checkpoint_from_fuzzer,
+    restore_fuzzer,
 )
 from .coverage import CoverageMap, coverage_keys
 from .divergence import (
@@ -41,7 +49,11 @@ from .report import CampaignReport
 from .seeds import FuzzInput, corpus_seeds, generator_seeds, seed_inputs
 
 __all__ = [
+    "CampaignCheckpoint",
+    "CampaignInterrupted",
     "CampaignReport",
+    "CheckpointError",
+    "CheckpointStore",
     "CoverageMap",
     "DifferentialFuzzer",
     "Divergence",
@@ -55,6 +67,7 @@ __all__ = [
     "VULNERABLE_EVENTS",
     "auto_triage",
     "batch_rng",
+    "checkpoint_from_fuzzer",
     "corpus_seeds",
     "coverage_keys",
     "divergence_from",
@@ -64,6 +77,7 @@ __all__ = [
     "minimize_input",
     "mutate",
     "normalized_events",
+    "restore_fuzzer",
     "run_batch",
     "run_campaign",
     "run_oracles",

@@ -8,7 +8,8 @@ mutate, run both oracles, promote on new coverage, dedup divergences.
 rounds of :class:`~repro.service.jobs.FuzzCampaignJob` batches fanned
 out over a :class:`~repro.service.ServiceEngine` worker pool, with
 per-batch timeouts and deterministic in-order merging — the report is
-byte-identical across runs for a fixed seed.
+byte-identical across runs for a fixed seed, at any worker count, and
+across kill/resume cycles through :mod:`repro.fuzz.checkpoint`.
 """
 
 from __future__ import annotations
@@ -16,6 +17,12 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, replace
 
+from .checkpoint import (
+    CheckpointError,
+    CheckpointStore,
+    checkpoint_from_fuzzer,
+    restore_fuzzer,
+)
 from .coverage import CoverageMap, coverage_keys
 from .divergence import (
     Divergence,
@@ -46,6 +53,29 @@ class FuzzConfig:
         return OracleConfig(step_budget=self.step_budget, canary=self.canary)
 
 
+class CampaignInterrupted(RuntimeError):
+    """A campaign stopped at a round boundary before finishing.
+
+    Raised after the in-flight round has fully drained and (when a
+    checkpoint directory is configured) a final checkpoint has been
+    published — ``checkpoint_path`` names it, so the caller can print a
+    resume hint.  The campaign report is intentionally *not* produced:
+    a partial report would be indistinguishable from a finished one.
+    """
+
+    def __init__(self, round_index: int, remaining: int, checkpoint_path=None):
+        self.round_index = round_index
+        self.remaining = remaining
+        self.checkpoint_path = checkpoint_path
+        detail = (
+            f"campaign interrupted at round {round_index} with "
+            f"{remaining} iteration(s) remaining"
+        )
+        if checkpoint_path is not None:
+            detail += f"; checkpoint written to {checkpoint_path}"
+        super().__init__(detail)
+
+
 class DifferentialFuzzer:
     """The sequential fuzzing core; every data structure is
     deterministic for a fixed seed and iteration count."""
@@ -69,6 +99,7 @@ class DifferentialFuzzer:
         self.batches_failed = 0
         self.iterations_lost = 0
         self.saturations = 0
+        self.record_errors = 0  # divergences that failed to persist
         self._seen: set = set()  # every key ever evaluated or enrolled
         self._corpus_keys: set = set()  # keys currently in the corpus
         self._protected = 0  # leading corpus entries exempt from eviction
@@ -199,11 +230,22 @@ class DifferentialFuzzer:
             finished.append(auto_triage(div))
         if self.store is not None:
             for div in finished:
-                self.store.record_divergence(
-                    div,
-                    self._oracle_config,
-                    meta={"seed": self.config.seed, "recorded_by": "fuzz-campaign"},
-                )
+                try:
+                    self.store.record_divergence(
+                        div,
+                        self._oracle_config,
+                        meta={
+                            "seed": self.config.seed,
+                            "recorded_by": "fuzz-campaign",
+                        },
+                    )
+                except (OSError, TypeError, ValueError):
+                    # One bad disk write must not kill the campaign: the
+                    # divergence still reaches the report; only its
+                    # regression bundle is lost, and the loss is counted.
+                    self.record_errors += 1
+                    if self.metrics is not None:
+                        self.metrics.counter("fuzz.record_errors").inc()
         if self.metrics is not None:
             self.metrics.gauge("fuzz.coverage_size").set(len(self.coverage))
             self.metrics.gauge("fuzz.corpus_size").set(len(self.corpus))
@@ -222,6 +264,9 @@ class DifferentialFuzzer:
         report.batches_failed = self.batches_failed
         report.iterations_lost = self.iterations_lost
         report.corpus_saturated = self.saturations
+        # Advisory only, never serialized: record failures depend on the
+        # machine's disk, and the report bytes must not.
+        report.record_errors = self.record_errors
         return report
 
 
@@ -321,74 +366,164 @@ def _merge_batch(fuzzer: DifferentialFuzzer, result: dict) -> None:
             known.occurrences += div.occurrences
 
 
+def _save_checkpoint(
+    checkpoints, fuzzer, batch_size: int, round_index: int, remaining: int
+):
+    """Publish one round-boundary checkpoint (no-op without a store)."""
+    if checkpoints is None:
+        return None
+    path = checkpoints.save(
+        checkpoint_from_fuzzer(
+            fuzzer,
+            batch_size=batch_size,
+            round_index=round_index,
+            remaining=remaining,
+        )
+    )
+    if fuzzer.metrics is not None:
+        fuzzer.metrics.counter("fuzz.checkpoints_written").inc()
+        fuzzer.metrics.gauge("fuzz.checkpoint_round").set(round_index)
+    return path
+
+
 def run_campaign(
     config: FuzzConfig,
     engine=None,
     batch_size: int = 50,
     batch_timeout: float = 120.0,
     store=None,
+    checkpoint_dir=None,
+    resume: bool = False,
+    skip_version_check: bool = False,
+    stop_event=None,
+    stop_after_rounds=None,
 ) -> CampaignReport:
-    """Run a whole campaign; with ``engine`` the iterations fan out as
-    :class:`FuzzCampaignJob` batches over the service worker pool.
-    With ``store`` (a :class:`repro.regress.RegressionStore`) every
-    minimized divergence is recorded as a replayable regression bundle."""
-    fuzzer = DifferentialFuzzer(
-        config,
-        metrics=engine.metrics if engine is not None else None,
-        store=store,
+    """Run a whole campaign as deterministic rounds of batches.
+
+    Sequential (``engine=None``) and fanned-out campaigns execute the
+    *same* round/batch partition — the only difference is whether
+    :func:`run_batch` runs inline or as :class:`FuzzCampaignJob` over
+    the service worker pool — so the report is byte-identical at any
+    worker count, including zero.  With ``store`` (a
+    :class:`repro.regress.RegressionStore`) every minimized divergence
+    is recorded as a replayable regression bundle.
+
+    ``checkpoint_dir`` persists a resumable checkpoint after the seed
+    pass and after every completed round; ``resume=True`` continues
+    from the newest loadable checkpoint there instead of starting over
+    (the checkpoint's config and batch size win over the arguments —
+    anything else would fork the deterministic batch partition).  A
+    checkpoint recorded under different oracle versions is refused
+    unless ``skip_version_check``.
+
+    A graceful stop — ``stop_event`` set, or ``stop_after_rounds``
+    completed rounds in this invocation — drains the in-flight round,
+    writes a final checkpoint, and raises :class:`CampaignInterrupted`.
+    """
+    metrics = engine.metrics if engine is not None else None
+    checkpoints = (
+        CheckpointStore(checkpoint_dir) if checkpoint_dir is not None else None
     )
-    fuzzer.run_seeds()
-    if engine is None:
-        fuzzer.fuzz(batch_rng(config.seed, 0, 0), config.iterations)
-        return fuzzer.finalize()
+    if resume:
+        if checkpoints is None:
+            raise CheckpointError("resume requires a checkpoint directory")
+        checkpoint = checkpoints.latest()
+        if checkpoint is None:
+            raise CheckpointError(
+                f"no usable checkpoint under {checkpoints.directory}"
+            )
+        stale = checkpoint.stale_versions()
+        if stale and not skip_version_check:
+            detail = ", ".join(
+                f"{key}: {recorded!r} -> {live!r}"
+                for key, (recorded, live) in sorted(stale.items())
+            )
+            raise CheckpointError(
+                f"checkpoint was recorded under different oracle versions "
+                f"({detail}); restart the campaign or skip the version check"
+            )
+        fuzzer = restore_fuzzer(checkpoint, metrics=metrics, store=store)
+        config = fuzzer.config
+        batch_size = checkpoint.batch_size
+        round_index = checkpoint.round_index
+        remaining = checkpoint.remaining
+        if metrics is not None:
+            metrics.counter("fuzz.checkpoint_resumes").inc()
+    else:
+        fuzzer = DifferentialFuzzer(config, metrics=metrics, store=store)
+        fuzzer.run_seeds()
+        round_index, remaining = 0, config.iterations
+        # The post-seed baseline: even a kill during round 0 resumes
+        # without re-running the seed pass.
+        _save_checkpoint(checkpoints, fuzzer, batch_size, round_index, remaining)
 
-    from ..service.jobs import NORMAL_PRIORITY, FuzzCampaignJob
-    from ..service.scheduler import JobFailed
+    if engine is not None:
+        from ..service.jobs import NORMAL_PRIORITY, FuzzCampaignJob
+        from ..service.scheduler import JobFailed
 
-    remaining = config.iterations
-    round_index = 0
+    rounds_done = 0
     while remaining > 0:
+        if (stop_event is not None and stop_event.is_set()) or (
+            stop_after_rounds is not None and rounds_done >= stop_after_rounds
+        ):
+            path = _save_checkpoint(
+                checkpoints, fuzzer, batch_size, round_index, remaining
+            )
+            raise CampaignInterrupted(round_index, remaining, path)
         corpus_snapshot = tuple(
             (inp.source, inp.stdin, inp.family, inp.label)
             for inp in fuzzer.corpus
         )
         coverage_snapshot = fuzzer.coverage.sorted_keys()
-        handles = []
+        payloads = []
         for batch_index in range(BATCHES_PER_ROUND):
             if remaining <= 0:
                 break
             size = min(batch_size, remaining)
             remaining -= size
-            job = FuzzCampaignJob(
-                seed=config.seed,
-                round=round_index,
-                batch=batch_index,
-                iterations=size,
-                corpus=corpus_snapshot,
-                coverage=coverage_snapshot,
-                protected=fuzzer._protected,
-                step_budget=config.step_budget,
-                canary=config.canary,
-                max_corpus=config.max_corpus,
+            payloads.append(
+                {
+                    "seed": config.seed,
+                    "round": round_index,
+                    "batch": batch_index,
+                    "iterations": size,
+                    "corpus": corpus_snapshot,
+                    "coverage": coverage_snapshot,
+                    "protected": fuzzer._protected,
+                    "step_budget": config.step_budget,
+                    "canary": config.canary,
+                    "max_corpus": config.max_corpus,
+                }
             )
-            handles.append(
+        if engine is None:
+            for payload in payloads:
+                _merge_batch(fuzzer, run_batch(payload))
+        else:
+            handles = [
                 (
-                    size,
+                    payload["iterations"],
                     engine.scheduler.submit(
-                        job, priority=NORMAL_PRIORITY, timeout=batch_timeout
+                        FuzzCampaignJob(**payload),
+                        priority=NORMAL_PRIORITY,
+                        timeout=batch_timeout,
                     ),
                 )
-            )
-        for size, handle in handles:
-            try:
-                _merge_batch(fuzzer, handle.result())
-            except JobFailed:
-                # The batch's iterations are gone, not silently absorbed:
-                # the report carries the shortfall so "N iterations"
-                # claims stay honest.
-                fuzzer.batches_failed += 1
-                fuzzer.iterations_lost += size
-                if fuzzer.metrics is not None:
-                    fuzzer.metrics.counter("fuzz.iterations_lost").inc(size)
+                for payload in payloads
+            ]
+            for size, handle in handles:
+                try:
+                    _merge_batch(fuzzer, handle.result())
+                except JobFailed:
+                    # The batch's iterations are gone, not silently
+                    # absorbed: the report carries the shortfall so
+                    # "N iterations" claims stay honest.
+                    fuzzer.batches_failed += 1
+                    fuzzer.iterations_lost += size
+                    if fuzzer.metrics is not None:
+                        fuzzer.metrics.counter("fuzz.iterations_lost").inc(
+                            size
+                        )
         round_index += 1
+        rounds_done += 1
+        _save_checkpoint(checkpoints, fuzzer, batch_size, round_index, remaining)
     return fuzzer.finalize()

@@ -4,8 +4,9 @@ Two sources, both deterministic under the campaign seed:
 
 * ``workloads.generators`` — one vulnerable and one safe program from
   every shape family (including the leak and DoS families the fuzzer
-  exists to exercise), each carrying its suggested attacker stdin and a
-  ground-truth label;
+  exists to exercise, and the CAPEC-10 taint-source family whose
+  placement counts arrive via env/argv/stream plumbing), each carrying
+  its suggested attacker stdin and a ground-truth label;
 * ``workloads.corpus`` — the paper's placement-new listings, which give
   the mutator realistic interprocedural and vtable material.
 """

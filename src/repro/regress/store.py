@@ -24,6 +24,8 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import os
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator, Optional
@@ -296,10 +298,29 @@ class RegressionStore:
                 return bundle_id, "unchanged"
             if not overwrite:
                 return bundle_id, "kept"
-            path.write_text(document)
+            self._publish(path, document)
             return bundle_id, "updated"
-        path.write_text(document)
+        self._publish(path, document)
         return bundle_id, "created"
+
+    def _publish(self, path: Path, document: str) -> None:
+        """Write ``document`` atomically: a crash mid-write must never
+        leave a truncated ``rb-*.json`` for ``gc`` to reap.  The tmp
+        name carries pid+tid so concurrent recorders never collide, and
+        its ``.tmp`` suffix keeps it invisible to the ``rb-*.json``
+        listing globs."""
+        tmp = path.parent / (
+            f"{path.name}.{os.getpid():x}.{threading.get_ident():x}.tmp"
+        )
+        try:
+            tmp.write_text(document)
+            tmp.replace(path)
+        except OSError:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            raise
 
     def record_divergence(
         self,
@@ -354,12 +375,22 @@ class RegressionStore:
         Removes files that are not valid bundle JSON, whose recorded
         ``id`` does not match their recomputed content address (tampered
         or hand-edited inputs), or whose filename does not match their
-        id (renamed files).  Returns ``{"scanned", "kept", "removed"}``
-        where ``removed`` maps file name → reason.
+        id (renamed files).  Stray ``*.tmp`` files — partial writes
+        orphaned by a crash before their atomic rename — are swept too.
+        Returns ``{"scanned", "kept", "removed"}`` where ``removed``
+        maps file name → reason.
         """
         removed: dict = {}
         kept = 0
         scanned = 0
+        for path in sorted(self.directory.glob("*.tmp")):
+            scanned += 1
+            removed[path.name] = "orphaned partial write"
+            if not dry_run:
+                try:
+                    path.unlink()
+                except OSError:  # pragma: no cover - concurrent cleanup
+                    pass
         for path in sorted(self.directory.glob("*.json")):
             scanned += 1
             try:

@@ -242,11 +242,22 @@ class ServiceEngine:
         max_corpus: int = 256,
         batch_size: int = 50,
         batch_timeout: float = 120.0,
+        store=None,
+        checkpoint_dir=None,
+        resume: bool = False,
+        skip_version_check: bool = False,
+        stop_event=None,
+        stop_after_rounds=None,
     ):
         """Run a differential fuzzing campaign over this worker pool.
 
         Returns a :class:`repro.fuzz.CampaignReport`.  Imported lazily:
         the fuzz package drives the service layer, not vice versa.
+        ``checkpoint_dir``/``resume`` persist and continue long
+        campaigns (see :mod:`repro.fuzz.checkpoint`); ``stop_event``
+        requests a graceful round-boundary stop that raises
+        :class:`repro.fuzz.CampaignInterrupted` after a final
+        checkpoint is written.
         """
         from ..fuzz import FuzzConfig, run_campaign
 
@@ -263,6 +274,12 @@ class ServiceEngine:
             engine=self,
             batch_size=batch_size,
             batch_timeout=batch_timeout,
+            store=store,
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
+            skip_version_check=skip_version_check,
+            stop_event=stop_event,
+            stop_after_rounds=stop_after_rounds,
         )
 
     # -- regression replay -------------------------------------------------

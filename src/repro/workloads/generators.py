@@ -30,10 +30,18 @@ CLASSIC_SHAPES = ("direct", "helper", "guarded", "tainted-array")
 #: Every shape the generator knows, including the families whose ground
 #: truth needs a leak or timeout oracle rather than the placement audit
 #: log ("leak" = Listings 21–22 arena-reuse info leak, "dos-loop" =
-#: §4.4 loop-bound DoS).  The differential fuzzer seeds from all of
-#: these; ``generate_program`` keeps drawing only CLASSIC_SHAPES by
-#: default so overflow-oracle callers are unaffected.
-ALL_SHAPES = CLASSIC_SHAPES + ("leak", "dos-loop")
+#: §4.4 loop-bound DoS, "taint-source" = CAPEC-10-style env/argv/stream
+#: input plumbing into a placement count).  The differential fuzzer
+#: seeds from all of these; ``generate_program`` keeps drawing only
+#: CLASSIC_SHAPES by default so overflow-oracle callers are unaffected.
+ALL_SHAPES = CLASSIC_SHAPES + ("leak", "dos-loop", "taint-source")
+
+#: Shapes drawn by ``generate_package_corpus``.  Frozen at the PR-6 set:
+#: the committed ``corpus/packages/`` rendering pins the exact
+#: ``rng.choice`` draws at seed 2026, so appending to this tuple would
+#: silently rewrite the committed corpus.  Extend ALL_SHAPES instead;
+#: widen this only together with a corpus regeneration.
+PACKAGE_SHAPES = CLASSIC_SHAPES + ("leak", "dos-loop")
 
 #: Shared, identity-checked layout cache (cheap; never stale).
 _ENGINE = LayoutEngine()
@@ -114,6 +122,8 @@ def generate_program(
         return _leak_program(rng, vulnerable)
     if chosen == "dos-loop":
         return _dos_loop_program(rng, vulnerable)
+    if chosen == "taint-source":
+        return _taint_source_program(rng, vulnerable)
     # Build two classes whose relative sizes encode the ground truth.
     small_fields = _random_fields(rng, rng.randint(1, 4))
     extra_fields = _random_fields(rng, rng.randint(1, 4))
@@ -204,6 +214,120 @@ def _tainted_array_program(
         arena_size=pool,
         placed_size=constant,
         shape="tainted-array",
+    )
+
+
+def _taint_source_program(
+    rng: random.Random, vulnerable: bool
+) -> GeneratedProgram:
+    """CAPEC-10 family: the placement count arrives through realistic
+    input plumbing — an environment variable (``getenv`` + ``atoi``),
+    the program's ``argc``, or a stream read routed through a helper —
+    instead of a bare ``cin >> n``.  The vulnerable twins size the
+    placement from the attacker-controlled value; the safe twins run
+    the same plumbing but place a compile-time-constant count."""
+    variant = rng.choice(("env", "argv", "stream"))
+    if variant == "env":
+        pool = rng.choice((16, 32, 64, 128))
+        if vulnerable:
+            body = (
+                f"char pool[{pool}];\n"
+                "void run() {\n"
+                '  char *raw = getenv("PAYLOAD_LIMIT");\n'
+                "  int n = atoi(raw);\n"
+                "  char *buf = new (pool) char[n];\n}\n"
+            )
+            return GeneratedProgram(
+                source=body,
+                vulnerable=True,
+                arena_size=pool,
+                placed_size=pool + 1,  # attacker-sized via the env var
+                shape="taint-source",
+                stdin=(pool + 16,),
+            )
+        constant = rng.randint(1, pool)
+        body = (
+            f"char pool[{pool}];\n"
+            "void run() {\n"
+            '  char *raw = getenv("PAYLOAD_LIMIT");\n'
+            "  int n = atoi(raw);\n"
+            f"  char *buf = new (pool) char[{constant}];\n}}\n"
+        )
+        return GeneratedProgram(
+            source=body,
+            vulnerable=False,
+            arena_size=pool,
+            placed_size=constant,
+            shape="taint-source",
+            stdin=(2,),  # the plumbing still consumes one token
+        )
+    if variant == "argv":
+        # The entry planner feeds scalar int parameters the constant 7,
+        # standing in for an attacker-chosen argc.
+        if vulnerable:
+            pool = rng.choice((2, 4))
+            body = (
+                f"char pool[{pool}];\n"
+                "void run(int argc) {\n"
+                "  char *buf = new (pool) char[argc];\n}\n"
+            )
+            return GeneratedProgram(
+                source=body,
+                vulnerable=True,
+                arena_size=pool,
+                placed_size=7,  # the planner's scalar-int argument
+                shape="taint-source",
+            )
+        pool = rng.choice((16, 32))
+        constant = rng.randint(1, 8)
+        body = (
+            f"char pool[{pool}];\n"
+            "void run(int argc) {\n"
+            "  int copies = argc;\n"
+            f"  char *buf = new (pool) char[{constant}];\n}}\n"
+        )
+        return GeneratedProgram(
+            source=body,
+            vulnerable=False,
+            arena_size=pool,
+            placed_size=constant,
+            shape="taint-source",
+        )
+    # "stream": the tainted read is laundered through a helper call so
+    # the taint must survive argument passing, not just a local cin.
+    pool = rng.choice((16, 32, 64, 128))
+    helper = (
+        "int throttle(int raw) {\n  return raw;\n}\n"
+    )
+    if vulnerable:
+        body = (
+            f"char pool[{pool}];\n" + helper +
+            "void run() {\n  int raw = 0;\n  cin >> raw;\n"
+            "  int n = throttle(raw);\n"
+            "  char *buf = new (pool) char[n];\n}\n"
+        )
+        return GeneratedProgram(
+            source=body,
+            vulnerable=True,
+            arena_size=pool,
+            placed_size=pool + 1,
+            shape="taint-source",
+            stdin=(pool + 16,),
+        )
+    constant = rng.randint(1, pool)
+    body = (
+        f"char pool[{pool}];\n" + helper +
+        "void run() {\n  int raw = 0;\n  cin >> raw;\n"
+        "  int n = throttle(raw);\n"
+        f"  char *buf = new (pool) char[{constant}];\n}}\n"
+    )
+    return GeneratedProgram(
+        source=body,
+        vulnerable=False,
+        arena_size=pool,
+        placed_size=constant,
+        shape="taint-source",
+        stdin=(3,),
     )
 
 
@@ -304,7 +428,7 @@ def generate_package_corpus(seed: int, count: int) -> list:
     names: list = []
     for index in range(count):
         vulnerable = rng.random() < 0.35
-        shape = rng.choice(ALL_SHAPES)
+        shape = rng.choice(PACKAGE_SHAPES)
         program = generate_program(rng, vulnerable, shape)
         name = f"pkg-{index:02d}-{shape}"
         fanin = min(len(names), rng.randint(0, 3))

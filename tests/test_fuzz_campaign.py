@@ -35,6 +35,7 @@ class TestSequentialCampaign:
             "tainted-array",
             "leak",
             "dos-loop",
+            "taint-source",
         }
         for family, reach in report.families.items():
             assert reach["static"], f"{family} never tripped the detector"

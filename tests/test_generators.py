@@ -59,6 +59,39 @@ class TestGeneration:
         program = generate_program(rng, vulnerable=True, shape="dos-loop")
         assert program.stdin and program.stdin[0] >= 1 << 20
 
+    def test_taint_source_variants_generate_and_parse(self):
+        rng = random.Random(4)
+        seen = set()
+        for _ in range(30):
+            for vulnerable in (True, False):
+                program = generate_program(
+                    rng, vulnerable, shape="taint-source"
+                )
+                assert parse(program.source).functions
+                assert program.shape == "taint-source"
+                assert program.vulnerable == vulnerable
+                if "getenv" in program.source:
+                    seen.add("env")
+                elif "argc" in program.source:
+                    seen.add("argv")
+                else:
+                    seen.add("stream")
+        assert seen == {"env", "argv", "stream"}
+
+    def test_taint_source_ground_truth_matches_both_oracles(self):
+        from repro.fuzz.oracles import run_oracles
+
+        rng = random.Random(11)
+        for _ in range(12):
+            for vulnerable in (True, False):
+                program = generate_program(
+                    rng, vulnerable, shape="taint-source"
+                )
+                obs = run_oracles(program.source, program.stdin)
+                assert obs.dynamic.valid, obs.dynamic.reason
+                assert obs.static.vulnerable == vulnerable
+                assert obs.dynamic.vulnerable == vulnerable
+
     def test_default_draw_stays_classic(self):
         # The overflow-ground-truth families stay the default universe;
         # leak/dos-loop must be requested by name (their ground truth is
@@ -67,6 +100,17 @@ class TestGeneration:
         for _ in range(40):
             program = generate_program(rng, vulnerable=True)
             assert program.shape in ("direct", "helper", "guarded", "tainted-array")
+
+    def test_package_corpus_draws_stay_frozen(self):
+        # The committed corpus/packages/ rendering pins the seed-2026
+        # rng.choice draws; new shapes extend ALL_SHAPES, never the
+        # package universe, or the committed corpus silently rewrites.
+        from repro.workloads.generators import (
+            generate_package_corpus,
+        )
+
+        for name, _, _ in generate_package_corpus(seed=2026, count=24):
+            assert "taint-source" not in name
 
     def test_corpus_reproducible(self):
         a = generate_corpus(seed=5, count=10)

@@ -169,6 +169,58 @@ class TestStore:
         assert not store.remove(bundle_id)
         assert len(store) == 0
 
+    def test_record_is_atomic_and_leaves_no_tmp(self, tmp_path):
+        store = RegressionStore(tmp_path / "store")
+        bundle_id, _ = store.record(make_bundle())
+        store.record(make_bundle(triage="manual: reviewed"), overwrite=True)
+        assert list(store.directory.glob("*.tmp")) == []
+        assert store.load(bundle_id).triage == "manual: reviewed"
+
+    def test_interrupted_write_cannot_truncate_a_bundle(
+        self, tmp_path, monkeypatch
+    ):
+        from pathlib import Path
+
+        store = RegressionStore(tmp_path / "store")
+        bundle_id, _ = store.record(make_bundle())
+        original = store.load(bundle_id)
+
+        real_write_text = Path.write_text
+
+        def crashing_write_text(self, text, *args, **kwargs):
+            # A crash mid-write: half the document lands, then the
+            # process dies before the atomic rename.
+            real_write_text(self, text[: len(text) // 2], *args, **kwargs)
+            raise OSError("simulated crash mid-write")
+
+        monkeypatch.setattr(Path, "write_text", crashing_write_text)
+        moved = make_bundle(triage="manual: reviewed")
+        with pytest.raises(OSError, match="simulated crash"):
+            store.record(moved, overwrite=True)
+        monkeypatch.undo()
+        # The published bundle is byte-for-byte untouched...
+        assert store.load(bundle_id).to_json() == original.to_json()
+        # ...and gc reaps the orphaned partial write, not the bundle.
+        swept = store.gc()
+        assert store.ids() == [bundle_id]
+        assert all(
+            reason == "orphaned partial write"
+            for reason in swept["removed"].values()
+        )
+
+    def test_gc_sweeps_orphaned_tmp_files(self, tmp_path):
+        store = RegressionStore(tmp_path / "store")
+        keep_id, _ = store.record(make_bundle())
+        (store.directory / "rb-feed.json.1a2b.3c4d.tmp").write_text("{par")
+        dry = store.gc(dry_run=True)
+        assert dry["removed"] == {
+            "rb-feed.json.1a2b.3c4d.tmp": "orphaned partial write"
+        }
+        assert (store.directory / "rb-feed.json.1a2b.3c4d.tmp").is_file()
+        store.gc()
+        assert not (store.directory / "rb-feed.json.1a2b.3c4d.tmp").exists()
+        assert store.ids() == [keep_id]
+
     def test_gc_sweeps_corrupt_and_renamed(self, tmp_path):
         store = RegressionStore(tmp_path / "store")
         keep_id, _ = store.record(make_bundle())
