@@ -1,5 +1,9 @@
 """``repro-bench`` — run the benchmark suite and record the perf trajectory.
 
+``repro-bench diff A.json B.json`` compares two recorded summaries
+without re-running anything (CI's regression gate: it exits non-zero
+when any well-sampled benchmark regressed past the threshold).
+
 Every performance PR needs a before/after story that survives the PR
 itself.  This front end runs the E-series pytest-benchmark suite (or
 just the hot-path micro-benchmarks with ``--quick``), folds the raw
@@ -149,6 +153,112 @@ def compare(current: dict, baseline: dict) -> dict:
     }
 
 
+def load_summary(path: Path) -> dict:
+    """Read one BENCH_*.json summary, raising ValueError when malformed."""
+    try:
+        data = json.loads(path.read_text())
+    except OSError as error:
+        raise ValueError(f"cannot read {path}: {error}") from None
+    except ValueError as error:
+        raise ValueError(f"{path} is not JSON: {error}") from None
+    if not isinstance(data, dict) or not isinstance(
+        data.get("benchmarks"), dict
+    ):
+        raise ValueError(f"{path} is not a repro-bench summary")
+    return data
+
+
+def diff_main(argv: Optional[Sequence[str]] = None) -> int:
+    """``repro-bench diff`` — compare two summaries, gate on regressions.
+
+    Exit status: 0 when every shared, well-sampled benchmark stays
+    within the regression threshold; 1 when any regressed past it;
+    EX_USAGE on unreadable input or no overlap to compare.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro-bench diff",
+        description="Compare two BENCH_*.json summaries (no benchmarks run)",
+    )
+    parser.add_argument("current", help="the fresh summary (e.g. this CI run)")
+    parser.add_argument("baseline", help="the committed baseline summary")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=10.0,
+        metavar="PCT",
+        help="fail when a benchmark is more than PCT%% slower (default 10)",
+    )
+    parser.add_argument(
+        "--min-rounds",
+        type=int,
+        default=MIN_ROUNDS_FOR_REGRESSION,
+        help="ignore benchmarks sampled fewer times than this on either "
+        f"side (default {MIN_ROUNDS_FOR_REGRESSION}; single-shot shape "
+        "tests are too noisy to gate on)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        current = load_summary(Path(args.current))
+        baseline = load_summary(Path(args.baseline))
+    except ValueError as error:
+        return _fail(str(error))
+    floor = 1.0 - args.max_regression / 100.0
+
+    speedups: dict = {}
+    regressions: list = []
+    skipped = 0
+    for name, row in sorted(current["benchmarks"].items()):
+        base_row = baseline["benchmarks"].get(name)
+        if not base_row or not base_row.get("mean_s") or not row.get("mean_s"):
+            continue
+        speedup = base_row["mean_s"] / row["mean_s"]
+        if (
+            (row.get("rounds") or 0) < args.min_rounds
+            or (base_row.get("rounds") or 0) < args.min_rounds
+        ):
+            skipped += 1
+            continue
+        speedups[name] = speedup
+        if speedup < floor:
+            regressions.append(name)
+    if not speedups:
+        return _fail(
+            f"no well-sampled benchmarks shared between {args.current} "
+            f"and {args.baseline}; nothing to gate on"
+        )
+
+    print(f"{args.current} vs baseline {args.baseline}:")
+    for name, speedup in sorted(speedups.items(), key=lambda kv: -kv[1]):
+        marker = "  REGRESSED" if name in regressions else ""
+        print(f"  {speedup:7.2f}x  {name}{marker}")
+    geomean = math.exp(
+        sum(math.log(s) for s in speedups.values()) / len(speedups)
+    )
+    print(f"geomean speedup: {geomean:.3f}x over {len(speedups)} benchmarks")
+    if skipped:
+        print(f"({skipped} under-sampled benchmarks not gated)")
+    # Domain throughput riders (execs_per_s, compile_ms, ...) are
+    # advisory context, not gated: they track workload metrics, not
+    # wall-clock means.
+    for name, row in sorted(current["benchmarks"].items()):
+        extra = row.get("extra_info")
+        if extra:
+            riders = ", ".join(
+                f"{key}={value}" for key, value in sorted(extra.items())
+            )
+            print(f"  {name}: {riders}")
+    if regressions:
+        print(
+            f"FAIL: {len(regressions)} benchmark(s) regressed more than "
+            f"{args.max_regression:g}% vs {args.baseline}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"ok: no benchmark regressed more than {args.max_regression:g}%")
+    return 0
+
+
 def run_pytest_benchmarks(
     benchmarks_dir: Path, quick: bool, json_path: Path, extra: Sequence[str] = ()
 ) -> int:
@@ -171,7 +281,10 @@ def run_pytest_benchmarks(
 
 
 def bench_main(argv: Optional[Sequence[str]] = None) -> int:
-    """Entry point for ``repro-bench``."""
+    """Entry point for ``repro-bench`` (and ``repro-bench diff``)."""
+    arg_list = list(sys.argv[1:] if argv is None else argv)
+    if arg_list and arg_list[0] == "diff":
+        return diff_main(arg_list[1:])
     parser = argparse.ArgumentParser(
         prog="repro-bench",
         description="Run the E-series benchmarks and record BENCH_<date>.json",
@@ -206,7 +319,7 @@ def bench_main(argv: Optional[Sequence[str]] = None) -> int:
         metavar="ARG",
         help="extra argument passed through to pytest (repeatable)",
     )
-    args = parser.parse_args(argv)
+    args = parser.parse_args(arg_list)
 
     benchmarks_dir = Path(args.benchmarks_dir)
     if not benchmarks_dir.is_dir():

@@ -254,6 +254,14 @@ def exec_main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="enable the StackGuard-style random canary",
     )
+    parser.add_argument(
+        "--engine",
+        choices=("ast", "bytecode"),
+        default="ast",
+        help="execution engine: the AST interpreter (default) or the "
+        "compiled bytecode VM (falls back to the interpreter for "
+        "programs the compiler cannot lower)",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -282,13 +290,26 @@ def exec_main(argv: Optional[Sequence[str]] = None) -> int:
     except ValueError as error:
         return _fail(f"bad integer argument: {error}")
     try:
-        interpreter, outcome = run_source(
-            source,
-            entry=args.entry,
-            args=entry_args,
-            machine=machine,
-            stdin=stdin_tokens,
-        )
+        if args.engine == "bytecode":
+            from .execution.vm import run_source_bytecode
+
+            interpreter, outcome, engine_used = run_source_bytecode(
+                source,
+                entry=args.entry,
+                args=entry_args,
+                machine=machine,
+                stdin=stdin_tokens,
+            )
+            if engine_used != "bytecode":
+                print("note: program not compilable, ran on the AST interpreter")
+        else:
+            interpreter, outcome = run_source(
+                source,
+                entry=args.entry,
+                args=entry_args,
+                machine=machine,
+                stdin=stdin_tokens,
+            )
     except Exception as error:  # simulated faults included
         print(f"simulated process died: {error}")
         return 1
@@ -437,6 +458,7 @@ def _fuzz_run(args) -> int:
         canary=not args.no_canary,
         minimize=not args.no_minimize,
         max_corpus=args.max_corpus,
+        engine=args.engine,
     )
     store = None
     if getattr(args, "record", None):
@@ -508,6 +530,23 @@ def _fuzz_run(args) -> int:
         print(
             f"warning: {report.record_errors} divergence(s) could not be "
             "recorded to the regression store (fuzz.record_errors)",
+            file=sys.stderr,
+        )
+    if getattr(report, "compile_errors", 0):
+        first = getattr(report, "first_compile_error", "")
+        print(
+            f"warning: the bytecode compiler crashed on "
+            f"{report.compile_errors} source(s); those ran on the AST "
+            "interpreter instead (bytecode.compile_errors"
+            + (f"; first: {first}" if first else "")
+            + ")",
+            file=sys.stderr,
+        )
+    if getattr(report, "engine_drift", 0):
+        print(
+            f"warning: {report.engine_drift} execution(s) disagreed "
+            "between the AST and bytecode engines (fuzz.engine_drift) — "
+            "this is a simulator bug; please report it",
             file=sys.stderr,
         )
     if store is not None:
@@ -680,6 +719,15 @@ def fuzz_main(argv: Optional[Sequence[str]] = None) -> int:
         type=int,
         default=256,
         help="live corpus size cap (default: 256)",
+    )
+    run_parser.add_argument(
+        "--engine",
+        choices=("ast", "bytecode", "both"),
+        default="ast",
+        help="dynamic-oracle execution engine: the AST interpreter "
+        "(default), the compiled bytecode VM, or 'both' — run each "
+        "program on both engines and report any verdict disagreement "
+        "as engine drift (a differential oracle over the VM itself)",
     )
     run_parser.add_argument(
         "--no-canary",
@@ -867,12 +915,15 @@ def _regress_replay(args) -> int:
                 store,
                 chunk_size=args.chunk_size,
                 check_versions=not args.skip_version_check,
+                engine=args.engine,
             )
     else:
         from .regress import replay_store
 
         drift = replay_store(
-            store, check_versions=not args.skip_version_check
+            store,
+            check_versions=not args.skip_version_check,
+            engine="" if args.engine == "ast" else args.engine,
         )
     if args.out:
         try:
@@ -1050,6 +1101,14 @@ def regress_main(argv: Optional[Sequence[str]] = None) -> int:
         type=int,
         default=8,
         help="bundles per replay job (default: 8)",
+    )
+    replay_parser.add_argument(
+        "--engine",
+        choices=("ast", "bytecode", "both"),
+        default="ast",
+        help="execution engine override for the replay: AST interpreter "
+        "(default, the recorded regime), bytecode VM, or 'both' — "
+        "flag any engine disagreement as engine-drift",
     )
     replay_parser.add_argument(
         "--fail-on-drift",

@@ -183,6 +183,7 @@ def checkpoint_from_fuzzer(
             "canary": fuzzer.config.canary,
             "minimize": fuzzer.config.minimize,
             "max_corpus": fuzzer.config.max_corpus,
+            "engine": fuzzer.config.engine,
         },
         batch_size=batch_size,
         round_index=round_index,
@@ -208,6 +209,9 @@ def checkpoint_from_fuzzer(
             "saturations": fuzzer.saturations,
             "batches_failed": fuzzer.batches_failed,
             "iterations_lost": fuzzer.iterations_lost,
+            "compile_errors": fuzzer.compile_errors,
+            "first_compile_error": fuzzer.first_compile_error,
+            "engine_drift": fuzzer.engine_drift,
         },
         versions=current_versions(),
     )
@@ -245,6 +249,9 @@ def restore_fuzzer(checkpoint: CampaignCheckpoint, metrics=None, store=None):
     fuzzer.saturations = counters.get("saturations", 0)
     fuzzer.batches_failed = counters.get("batches_failed", 0)
     fuzzer.iterations_lost = counters.get("iterations_lost", 0)
+    fuzzer.compile_errors = counters.get("compile_errors", 0)
+    fuzzer.first_compile_error = counters.get("first_compile_error", "")
+    fuzzer.engine_drift = counters.get("engine_drift", 0)
     return fuzzer
 
 

@@ -211,6 +211,35 @@ class AddressSpace:
         # Unwritable segment or a straddling range: precise fault.
         self._ordered[i].write(address, data)
 
+    def locate(
+        self, address: int, length: int, writable: bool = False
+    ) -> Optional[tuple]:
+        """Resolve a hook-free in-bounds range to ``(memoryview, offset)``.
+
+        The bytecode VM's vectorized access path: when no observer is
+        registered and the whole range sits inside one segment with the
+        required permission, the caller may (un)pack values straight
+        from the backing store.  Any other case — hooks attached,
+        unmapped address, a range straddling the segment end, missing
+        permission — returns None, and the caller must go through
+        :meth:`read`/:meth:`write` so the precise fault or notification
+        happens exactly as it always has.
+        """
+        if self._hooks:
+            return None
+        i = self._last_index
+        if not self._bases[i] <= address < self._ends[i]:
+            i = bisect_right(self._bases, address) - 1
+            if i < 0 or address >= self._ends[i]:
+                return None
+            self._last_index = i
+        if not (self._writable[i] if writable else self._readable[i]):
+            return None
+        offset = address - self._bases[i]
+        if offset + length > self._sizes[i]:
+            return None
+        return self._views[i], offset
+
     def fill(self, address: int, length: int, byte: int = 0) -> None:
         """memset: used by the sanitization defense (Section 5.1).
 

@@ -104,6 +104,7 @@ class ServiceClient:
         args: Sequence = (),
         stdin: Sequence = (),
         canary: bool = False,
+        engine: str = "ast",
     ) -> dict:
         return self._request(
             "POST",
@@ -114,5 +115,6 @@ class ServiceClient:
                 "args": list(args),
                 "stdin": list(stdin),
                 "canary": canary,
+                "engine": engine,
             },
         )

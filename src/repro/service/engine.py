@@ -217,6 +217,7 @@ class ServiceEngine:
         args: Sequence = (),
         stdin: Sequence = (),
         canary: bool = False,
+        engine: str = "ast",
     ) -> dict:
         """Run MiniC++ source on a fresh simulated machine."""
         return self.scheduler.run(
@@ -226,6 +227,7 @@ class ServiceEngine:
                 args=tuple(args),
                 stdin=tuple(stdin),
                 canary=canary,
+                engine=engine,
             ),
             priority=HIGH_PRIORITY,
         )
@@ -240,6 +242,7 @@ class ServiceEngine:
         canary: bool = True,
         minimize: bool = True,
         max_corpus: int = 256,
+        engine: str = "ast",
         batch_size: int = 50,
         batch_timeout: float = 120.0,
         store=None,
@@ -268,6 +271,7 @@ class ServiceEngine:
             canary=canary,
             minimize=minimize,
             max_corpus=max_corpus,
+            engine=engine,
         )
         return run_campaign(
             config,
@@ -290,6 +294,7 @@ class ServiceEngine:
         chunk_size: int = 8,
         check_versions: bool = True,
         timeout: float = 300.0,
+        engine: str = "ast",
     ):
         """Replay a regression store over the worker pool.
 
@@ -320,7 +325,9 @@ class ServiceEngine:
         handles = [
             self.scheduler.submit(
                 RegressReplayJob(
-                    bundles=tuple(chunk), check_versions=check_versions
+                    bundles=tuple(chunk),
+                    check_versions=check_versions,
+                    engine=engine,
                 ),
                 priority=NORMAL_PRIORITY,
                 timeout=timeout,
@@ -414,6 +421,9 @@ class ServiceEngine:
         snapshot["faults"] = (
             self.fault_plan.stats() if self.fault_plan else {"enabled": False}
         )
+        from ..execution.vm import cache_stats
+
+        snapshot["bytecode"] = cache_stats()
         return snapshot
 
     def metrics_prometheus(self) -> str:

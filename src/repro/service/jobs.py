@@ -120,6 +120,7 @@ class FuzzCampaignJob(Job):
     step_budget: int = 50_000
     canary: bool = True
     max_corpus: int = 256
+    engine: str = "ast"  # "ast" | "bytecode" | "both"
 
     KIND = "fuzz-campaign"
     CACHEABLE = False
@@ -138,6 +139,7 @@ class RegressReplayJob(Job):
 
     bundles: tuple = ()  # canonical-JSON bundle documents
     check_versions: bool = True
+    engine: str = "ast"  # "ast" | "bytecode" | "both"
 
     KIND = "regress-replay"
     CACHEABLE = False
@@ -156,6 +158,7 @@ class ExecJob(Job):
     args: tuple = ()
     stdin: tuple = ()
     canary: bool = False
+    engine: str = "ast"  # "ast" | "bytecode"
 
     KIND = "exec"
     CACHEABLE = False

@@ -1,0 +1,130 @@
+"""The engine parity gate: the bytecode VM must agree with the AST
+interpreter on every committed corpus — verdicts, triage, events, step
+counts — with zero drift.  This is the tier-1 contract that lets the
+fuzzing stack trust the fast engine.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.execution import run_source
+from repro.execution.vm import BytecodeVM, compiled_for, reset_cache
+from repro.fuzz import OracleConfig, run_oracles
+from repro.fuzz.seeds import seed_inputs
+from repro.regress import RegressionStore, replay_store
+from repro.runtime import Machine
+
+REPO = Path(__file__).resolve().parent.parent
+REGRESS_DIR = REPO / "corpus" / "regress"
+PACKAGES_DIR = REPO / "corpus" / "packages"
+
+
+def _package_sources():
+    return sorted(PACKAGES_DIR.glob("*.cpp"))
+
+
+def _regress_bundles():
+    store = RegressionStore(REGRESS_DIR, create=False)
+    return [store.load(bundle_id) for bundle_id in store.ids()]
+
+
+def _run_engines(source, stdin=()):
+    """One (outcome, events) observation per engine, exceptions included."""
+
+    def run_one(use_vm):
+        machine = Machine()
+        try:
+            if use_vm:
+                compiled, note = compiled_for(source)
+                assert compiled is not None, f"not compilable: {note}"
+                executor = BytecodeVM(compiled, machine=machine)
+                if stdin:
+                    machine.stdin.feed(*stdin)
+                outcome = executor.run("main", 0, 0)
+            else:
+                executor, outcome = run_source(
+                    source, machine=machine, stdin=stdin
+                )
+            return (
+                "ok",
+                outcome.return_value,
+                outcome.steps,
+                tuple(executor.outputs),
+                tuple(executor.stored),
+                outcome.frame_exit is not None and outcome.frame_exit.hijacked,
+                tuple(machine.events),
+            )
+        except Exception as error:
+            return ("exc", type(error).__name__, str(error), tuple(machine.events))
+
+    return run_one(False), run_one(True)
+
+
+class TestPackageCorpusParity:
+    """Every committed package runs identically on both engines."""
+
+    @pytest.mark.parametrize(
+        "path", _package_sources(), ids=lambda p: p.stem
+    )
+    def test_package_zero_drift(self, path):
+        source = path.read_text()
+        ast_run, vm_run = _run_engines(source)
+        assert ast_run == vm_run
+
+
+class TestRegressCorpusParity:
+    """The whole committed regression store replays with zero drift
+    under the both-engine oracle — verdict, fingerprint, and triage."""
+
+    def test_both_engine_sweep_is_clean(self):
+        reset_cache()
+        store = RegressionStore(REGRESS_DIR, create=False)
+        drift = replay_store(store, engine="both")
+        assert drift.clean, drift.render()
+        assert drift.counts() == {"ok": len(store.ids())}
+
+    def test_bundles_agree_per_oracle_verdict(self):
+        config_ast = OracleConfig(engine="ast")
+        config_vm = OracleConfig(engine="bytecode")
+        for bundle in _regress_bundles():
+            on_ast = run_oracles(bundle.source, bundle.stdin, config_ast)
+            on_vm = run_oracles(bundle.source, bundle.stdin, config_vm)
+            assert on_ast.valid == on_vm.valid
+            assert on_ast.dynamic.events == on_vm.dynamic.events
+            assert on_ast.dynamic.fault == on_vm.dynamic.fault
+            assert on_ast.divergence_kind == on_vm.divergence_kind
+            # Nothing silently fell back to the interpreter.
+            assert on_vm.dynamic.engine_note == ""
+
+
+class TestSeedFamilyParity:
+    """Every generator seed family (both ground-truth labels) agrees."""
+
+    @pytest.mark.parametrize(
+        "fuzz_input",
+        seed_inputs(20260808),
+        ids=lambda i: f"{i.family or 'corpus'}-{i.label or 'x'}",
+    )
+    def test_seed_zero_drift(self, fuzz_input):
+        ast_run, vm_run = _run_engines(fuzz_input.source, fuzz_input.stdin)
+        assert ast_run == vm_run
+
+
+class TestCorpusCompiles:
+    """The committed corpora never take the slow-path fallback: the
+    compiler handles every construct the corpus exercises."""
+
+    def test_no_fallbacks_across_corpora(self):
+        reset_cache()
+        sources = [path.read_text() for path in _package_sources()]
+        sources += [bundle.source for bundle in _regress_bundles()]
+        for source in sources:
+            compiled, note = compiled_for(source)
+            assert compiled is not None and note == "", note
+
+
+def test_repo_corpora_exist():
+    # The gate above is vacuous if the corpus dirs move; fail loudly.
+    assert _package_sources(), "corpus/packages is empty or missing"
+    assert (REGRESS_DIR / "").exists() and list(REGRESS_DIR.glob("*.json"))

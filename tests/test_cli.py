@@ -52,6 +52,69 @@ class TestSharedExitConvention:
         assert entry_points == covered
 
 
+class TestBenchDiff:
+    """``repro-bench diff`` — CI's >10%-regression gate on two summaries."""
+
+    @staticmethod
+    def _summary(tmp_path, name, means, rounds=10):
+        import json
+
+        path = tmp_path / name
+        path.write_text(
+            json.dumps(
+                {
+                    "schema": 1,
+                    "benchmarks": {
+                        bench: {"mean_s": mean, "rounds": rounds}
+                        for bench, mean in means.items()
+                    },
+                }
+            )
+        )
+        return str(path)
+
+    def test_clean_diff_exits_0(self, tmp_path, capsys):
+        from repro.bench import bench_main
+
+        base = self._summary(tmp_path, "BENCH_a.json", {"test_x": 2.0e-4})
+        new = self._summary(tmp_path, "BENCH_b.json", {"test_x": 1.0e-4})
+        assert bench_main(["diff", new, base]) == 0
+        out = capsys.readouterr().out
+        assert "2.00x  test_x" in out
+        assert "geomean speedup: 2.000x" in out
+
+    def test_regression_past_threshold_exits_1(self, tmp_path, capsys):
+        from repro.bench import bench_main
+
+        base = self._summary(tmp_path, "BENCH_a.json", {"test_x": 1.0e-4})
+        new = self._summary(tmp_path, "BENCH_b.json", {"test_x": 1.2e-4})
+        assert bench_main(["diff", new, base]) == 1
+        captured = capsys.readouterr()
+        assert "REGRESSED" in captured.out
+        assert "FAIL" in captured.err
+        # A wider tolerance lets the same pair through.
+        assert bench_main(["diff", new, base, "--max-regression", "25"]) == 0
+
+    def test_single_shot_benchmarks_are_not_gated(self, tmp_path):
+        from repro.bench import bench_main
+
+        base = self._summary(
+            tmp_path, "BENCH_a.json", {"test_shape": 1.0e-4}, rounds=1
+        )
+        slower = self._summary(
+            tmp_path, "BENCH_b.json", {"test_shape": 9.0e-4}, rounds=1
+        )
+        # No well-sampled overlap at all is a usage error, not a pass.
+        assert bench_main(["diff", slower, base]) == 2
+
+    def test_unreadable_summary_exits_2(self, tmp_path, capsys):
+        from repro.bench import bench_main
+
+        good = self._summary(tmp_path, "BENCH_a.json", {"test_x": 1.0e-4})
+        assert bench_main(["diff", good, str(tmp_path / "missing.json")]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+
 class TestAttacksCli:
     def test_list(self, capsys):
         assert attacks_main(["--list"]) == 0

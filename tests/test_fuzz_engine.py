@@ -1,0 +1,245 @@
+"""Engine selection plumbing: FuzzConfig/checkpoint round-trips, batch
+merging, the compile-error advisory surface, the ``engine-drift``
+replay status, and the service-level engine knobs.
+
+The parity of the engines themselves is proven in
+tests/test_bytecode_parity.py; this file tests the *wiring* that lets
+an operator pick an engine and trust the counters it reports.
+"""
+
+from pathlib import Path
+
+from repro.execution import reset_cache
+from repro.execution import vm as vm_module
+from repro.fuzz import DifferentialFuzzer, FuzzConfig
+from repro.fuzz.campaign import _merge_batch, run_batch
+from repro.fuzz.checkpoint import (
+    CampaignCheckpoint,
+    checkpoint_from_fuzzer,
+    restore_fuzzer,
+)
+from repro.fuzz.oracles import DynamicVerdict, _engine_drift
+from repro.fuzz.seeds import FuzzInput
+from repro.regress import RegressionStore, replay_bundle
+from repro.service import ServiceEngine
+from repro.service.metrics import MetricsRegistry, render_prometheus
+
+REPO = Path(__file__).resolve().parent.parent
+REGRESS_DIR = REPO / "corpus" / "regress"
+
+TRIVIAL = "int main(int argc, int argv) {\n  return 7;\n}\n"
+
+
+def _crash_compiler(monkeypatch):
+    def crash(program, symbols=None):
+        raise RuntimeError("synthetic compiler bug")
+
+    reset_cache()
+    monkeypatch.setattr(vm_module, "compile_program", crash)
+
+
+class TestConfigPlumbing:
+    def test_fuzz_config_engine_reaches_oracles(self):
+        config = FuzzConfig(engine="both")
+        assert config.oracle_config().engine == "both"
+        assert FuzzConfig().engine == "ast"
+
+    def test_checkpoint_roundtrips_engine_and_counters(self):
+        fuzzer = DifferentialFuzzer(FuzzConfig(seed=3, engine="both"))
+        fuzzer.compile_errors = 2
+        fuzzer.first_compile_error = "compile-error:abcdef123456"
+        fuzzer.engine_drift = 1
+        checkpoint = checkpoint_from_fuzzer(
+            fuzzer, batch_size=10, round_index=1, remaining=5
+        )
+        restored = restore_fuzzer(
+            CampaignCheckpoint.from_json(checkpoint.to_json())
+        )
+        assert restored.config.engine == "both"
+        assert restored.compile_errors == 2
+        assert restored.first_compile_error == "compile-error:abcdef123456"
+        assert restored.engine_drift == 1
+
+    def test_pre_engine_checkpoint_still_loads(self):
+        # Checkpoints written before the bytecode engine carry neither
+        # the config key nor the counters; they must restore as ast.
+        # (Built directly: from_dict would reject a hand-edited body on
+        # its integrity digest, which is its own guarantee.)
+        old = CampaignCheckpoint(
+            config={"seed": 3, "iterations": 10},
+            batch_size=10,
+            round_index=0,
+            remaining=5,
+            counters={"execs": 4},
+        )
+        restored = restore_fuzzer(old)
+        assert restored.config.engine == "ast"
+        assert restored.compile_errors == 0
+        assert restored.first_compile_error == ""
+        assert restored.engine_drift == 0
+
+
+class TestCompileErrorSurfacing:
+    """A compiler crash must never be silent: the campaign counts it,
+    names the first failing source hash, and exports the counter."""
+
+    def test_observe_counts_and_names_first_failure(self, monkeypatch):
+        _crash_compiler(monkeypatch)
+        metrics = MetricsRegistry()
+        fuzzer = DifferentialFuzzer(
+            FuzzConfig(engine="bytecode"), metrics=metrics
+        )
+        fuzzer.observe(FuzzInput(source=TRIVIAL))
+        fuzzer.observe(FuzzInput(source=TRIVIAL + "\n"))
+        assert fuzzer.compile_errors == 2
+        assert fuzzer.first_compile_error.startswith("compile-error:")
+        first = fuzzer.first_compile_error
+        fuzzer.observe(FuzzInput(source=TRIVIAL + "\n\n"))
+        assert fuzzer.first_compile_error == first  # first stays first
+        assert metrics.counter("bytecode.compile_errors").value == 3
+        report = fuzzer.finalize()
+        assert report.engine == "bytecode"
+        assert report.compile_errors == 3
+        assert report.first_compile_error == first
+
+    def test_compile_error_still_produces_a_verdict(self, monkeypatch):
+        # The fallback interpreter run keeps the campaign sound even
+        # while the compiler is broken.
+        _crash_compiler(monkeypatch)
+        fuzzer = DifferentialFuzzer(FuzzConfig(engine="bytecode"))
+        observation = fuzzer.observe(FuzzInput(source=TRIVIAL))
+        assert observation.valid
+        assert fuzzer.execs == 1
+
+    def test_report_bytes_stay_engine_free(self, monkeypatch):
+        _crash_compiler(monkeypatch)
+        fuzzer = DifferentialFuzzer(FuzzConfig(engine="bytecode"))
+        fuzzer.observe(FuzzInput(source=TRIVIAL))
+        report = fuzzer.finalize()
+        flat = repr(sorted(report.to_dict().items()))
+        assert "compile-error" not in flat
+        assert "engine" not in flat
+
+
+def _batch_result(**overrides):
+    """The minimal result dict a worker batch returns."""
+    result = {
+        "execs": 0,
+        "invalid": 0,
+        "discarded": 0,
+        "new_coverage": (),
+        "new_inputs": (),
+        "divergences": (),
+    }
+    result.update(overrides)
+    return result
+
+
+class TestBatchMerging:
+    def test_merge_accumulates_engine_counters(self):
+        metrics = MetricsRegistry()
+        fuzzer = DifferentialFuzzer(FuzzConfig(engine="both"), metrics=metrics)
+        _merge_batch(
+            fuzzer,
+            _batch_result(
+                compile_errors=2,
+                first_compile_error="compile-error:aaa",
+                engine_drift=3,
+            ),
+        )
+        _merge_batch(
+            fuzzer,
+            _batch_result(
+                compile_errors=1,
+                first_compile_error="compile-error:bbb",
+                engine_drift=0,
+            ),
+        )
+        assert fuzzer.compile_errors == 3
+        assert fuzzer.first_compile_error == "compile-error:aaa"
+        assert fuzzer.engine_drift == 3
+        assert metrics.counter("bytecode.compile_errors").value == 3
+        assert metrics.counter("fuzz.engine_drift").value == 3
+
+    def test_pre_engine_batch_result_merges(self):
+        # A worker running older code returns no engine keys at all.
+        fuzzer = DifferentialFuzzer(FuzzConfig())
+        _merge_batch(fuzzer, _batch_result())
+        assert fuzzer.compile_errors == 0
+        assert fuzzer.engine_drift == 0
+
+    def test_run_batch_reports_engine_counters(self):
+        reset_cache()
+        result = run_batch(
+            {
+                "seed": 11,
+                "iterations": 4,
+                "round": 0,
+                "batch": 0,
+                "engine": "both",
+                "corpus": ((TRIVIAL, (), "corpus", ""),),
+            }
+        )
+        assert result["compile_errors"] == 0
+        assert result["first_compile_error"] == ""
+        assert result["engine_drift"] == 0
+
+
+class TestEngineDriftJudgement:
+    def test_split_valid_and_fault_render_drift(self):
+        ok = DynamicVerdict(valid=True)
+        assert _engine_drift(ok, ok) == ""
+        assert "valid:" in _engine_drift(ok, DynamicVerdict(valid=False))
+        faulted = DynamicVerdict(valid=True, fault="canary smashed")
+        drift = _engine_drift(ok, faulted)
+        assert "fault:" in drift and "canary smashed" in drift
+        noisy = DynamicVerdict(valid=True, events=("getenv()",))
+        assert "events:" in _engine_drift(ok, noisy)
+
+    def test_two_invalid_runs_never_drift(self):
+        a = DynamicVerdict(valid=False, reason="parse error")
+        b = DynamicVerdict(valid=False, reason="worded differently")
+        assert _engine_drift(a, b) == ""
+
+    def test_replay_reports_engine_drift_status(self, monkeypatch):
+        store = RegressionStore(REGRESS_DIR, create=False)
+        bundle = store.load(sorted(store.ids())[0])
+        assert replay_bundle(bundle, engine="both").status == "ok"
+        # Force the comparator to disagree: replay must surface it as
+        # its own terminal status, not "ok" and not a corpus drift.
+        import repro.fuzz.oracles as oracles
+
+        monkeypatch.setattr(
+            oracles, "_engine_drift", lambda p, s: "fault:ast=-|bytecode=x"
+        )
+        result = replay_bundle(bundle, engine="both")
+        assert result.status == "engine-drift"
+        assert "engines disagreed" in result.detail
+
+    def test_engine_override_keeps_bundle_verdict(self):
+        store = RegressionStore(REGRESS_DIR, create=False)
+        for bundle_id in sorted(store.ids())[:3]:
+            bundle = store.load(bundle_id)
+            assert replay_bundle(bundle, engine="bytecode").status == "ok"
+
+
+class TestServiceSurface:
+    def test_exec_job_engine_roundtrip(self):
+        with ServiceEngine(workers=1, use_cache=False) as engine:
+            on_vm = engine.execute(TRIVIAL, engine="bytecode")
+            on_ast = engine.execute(TRIVIAL)
+        assert on_vm["engine"] == "bytecode"
+        assert on_ast["engine"] == "ast"
+        assert on_vm["return_value"] == on_ast["return_value"] == 7
+
+    def test_metrics_snapshot_exports_bytecode_section(self):
+        reset_cache()
+        with ServiceEngine(workers=1, use_cache=False) as engine:
+            engine.execute(TRIVIAL, engine="bytecode")
+            snapshot = engine.metrics_snapshot()
+        section = snapshot["bytecode"]
+        assert section["compiles"] == 1
+        assert section["version"] >= 1
+        rendered = render_prometheus(snapshot)
+        assert "repro_bytecode_compiles 1" in rendered
+        assert "repro_bytecode_compile_errors 0" in rendered
