@@ -377,6 +377,14 @@ def serve_main(argv: Optional[Sequence[str]] = None) -> int:
             "thread backend only)"
         ),
     )
+    parser.add_argument(
+        "--shard-id",
+        default="",
+        help=(
+            "label this process as one shard of a repro-cluster "
+            "deployment; stamped onto /healthz and every metrics sample"
+        ),
+    )
     args = parser.parse_args(argv)
     if args.workers < 1:
         return _fail("--workers must be >= 1")
@@ -397,6 +405,7 @@ def serve_main(argv: Optional[Sequence[str]] = None) -> int:
         cache_dir=None if args.no_cache else args.cache_dir,
         use_cache=not args.no_cache,
         fault_plan=fault_plan,
+        shard_id=args.shard_id,
     )
     try:
         server = create_server(engine, host=args.host, port=args.port)
@@ -404,10 +413,12 @@ def serve_main(argv: Optional[Sequence[str]] = None) -> int:
         engine.close()
         return _fail(f"cannot bind {args.host}:{args.port}: {error}")
     host, port = server.server_address[:2]
+    shard_note = f" [shard {args.shard_id}]" if args.shard_id else ""
     print(
-        f"repro-serve listening on http://{host}:{port} "
+        f"repro-serve listening on http://{host}:{port}{shard_note} "
         f"({args.workers} {args.backend} workers, cache "
-        f"{'off' if args.no_cache else args.cache_dir})"
+        f"{'off' if args.no_cache else args.cache_dir})",
+        flush=True,
     )
     if fault_plan is not None:
         print(f"fault plan armed: {fault_plan.describe()}")
@@ -420,6 +431,172 @@ def serve_main(argv: Optional[Sequence[str]] = None) -> int:
         server.server_close()
         engine.close()
     return 0
+
+
+def cluster_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``repro-cluster``."""
+    import asyncio
+
+    parser = argparse.ArgumentParser(
+        prog="repro-cluster",
+        description=(
+            "Serve the job engine from N consistent-hash shards behind "
+            "an asyncio front-end with tiered caching and tenant quotas"
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=8072, help="bind port (0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--shards", type=int, default=3, help="shard count (default: 3)"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2, help="workers per shard (default: 2)"
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("thread", "process"),
+        default="thread",
+        help="per-shard worker pool backend",
+    )
+    parser.add_argument(
+        "--shard-mode",
+        choices=("inprocess", "subprocess"),
+        default="inprocess",
+        help=(
+            "inprocess: shard engines share this process; subprocess: "
+            "each shard is a child repro-serve process"
+        ),
+    )
+    parser.add_argument(
+        "--vnodes",
+        type=int,
+        default=64,
+        help="virtual nodes per shard on the hash ring (default: 64)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=".repro-cache",
+        help=(
+            "shared on-disk result cache directory; all shards read and "
+            "write it, forming the cluster's second cache tier"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable result caching on every shard",
+    )
+    parser.add_argument(
+        "--quota-capacity",
+        type=float,
+        default=256.0,
+        help="default tenant bucket capacity in jobs (default: 256)",
+    )
+    parser.add_argument(
+        "--quota-refill",
+        type=float,
+        default=64.0,
+        help="default tenant refill rate in jobs/second (default: 64)",
+    )
+    parser.add_argument(
+        "--quota",
+        action="append",
+        default=[],
+        metavar="TENANT=CAP:RATE",
+        help="per-tenant quota override (repeatable)",
+    )
+    parser.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "arm the cluster dispatch seam: e.g. 'shard-crash:analyze:1' "
+            "or 'partition:*:3' (inprocess shard mode only)"
+        ),
+    )
+    args = parser.parse_args(argv)
+    if args.shards < 1:
+        return _fail("--shards must be >= 1")
+    if args.workers < 1:
+        return _fail("--workers must be >= 1")
+    if args.vnodes < 1:
+        return _fail("--vnodes must be >= 1")
+    if args.quota_capacity <= 0 or args.quota_refill <= 0:
+        return _fail("--quota-capacity and --quota-refill must be > 0")
+    from .cluster import QuotaManager, parse_override
+
+    overrides = {}
+    for spec in args.quota:
+        try:
+            tenant, budget = parse_override(spec)
+        except ValueError as error:
+            return _fail(f"bad --quota: {error}")
+        overrides[tenant] = budget
+    fault_plan = None
+    if args.fault_plan:
+        from .service import FaultPlan
+
+        if args.shard_mode != "inprocess":
+            return _fail("--fault-plan requires --shard-mode inprocess")
+        try:
+            fault_plan = FaultPlan.parse(args.fault_plan)
+        except ValueError as error:
+            return _fail(f"bad --fault-plan: {error}")
+
+    async def _serve() -> int:
+        from .cluster import (
+            ClusterRouter,
+            build_shards,
+            create_cluster_server,
+        )
+
+        shards = await build_shards(
+            args.shards,
+            mode=args.shard_mode,
+            workers=args.workers,
+            backend=args.backend,
+            cache_dir=None if args.no_cache else args.cache_dir,
+            use_cache=not args.no_cache,
+            fault_plan=fault_plan,
+        )
+        router = ClusterRouter(
+            shards, vnodes=args.vnodes, fault_plan=fault_plan
+        )
+        quotas = QuotaManager(
+            capacity=args.quota_capacity,
+            refill_rate=args.quota_refill,
+            overrides=overrides,
+        )
+        try:
+            server = await create_cluster_server(
+                router, quotas=quotas, host=args.host, port=args.port
+            )
+        except OSError as error:
+            await router.close()
+            return _fail(f"cannot bind {args.host}:{args.port}: {error}")
+        print(
+            f"repro-cluster listening on http://{args.host}:{server.port} "
+            f"({args.shards} {args.shard_mode} shards x {args.workers} "
+            f"{args.backend} workers, {args.vnodes} vnodes, cache "
+            f"{'off' if args.no_cache else args.cache_dir})",
+            flush=True,
+        )
+        if fault_plan is not None:
+            print(f"fault plan armed: {fault_plan.describe()}", flush=True)
+        try:
+            await server.serve_forever()
+        except (KeyboardInterrupt, asyncio.CancelledError):
+            print("draining...")
+        finally:
+            await server.close()
+        return 0
+
+    try:
+        return asyncio.run(_serve())
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        return 0
 
 
 def _load_report(path: str):

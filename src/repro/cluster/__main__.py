@@ -1,0 +1,8 @@
+"""``python -m repro.cluster`` — run the sharded front-end."""
+
+import sys
+
+from ..cli import cluster_main
+
+if __name__ == "__main__":
+    sys.exit(cluster_main())

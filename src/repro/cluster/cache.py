@@ -1,0 +1,71 @@
+"""The cluster's tiered result cache: owner mem → disk → ring peer.
+
+The router consults this before computing any cacheable job.  Tier 1
+and 2 live inside the owner shard's :class:`~repro.service.cache.ResultCache`
+(its in-memory LRU, then its disk store — shared across shards when
+they are configured with one cache directory).  Tier 3 asks the key's
+*ring successor*: after a topology change the successor is exactly the
+shard that owned the key before, so its warm cache is the best place
+to look before paying for a recompute.  A peer hit warms the owner on
+the way back, so the next lookup stops at tier 1.
+
+Per-tier accounting lands in the cluster metrics registry as
+``cluster.cache_hits.{mem,disk,peer}`` / ``cluster.cache_misses``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..service.metrics import MetricsRegistry
+
+
+class TieredCache:
+    """Tier accounting + the lookup/store protocol over shard caches.
+
+    ``owner`` and ``peer`` are shard objects exposing the async cache
+    seam (``cache_probe``/``cache_put``); the cache itself holds no
+    entries — it orchestrates the shards that do.
+    """
+
+    def __init__(self, metrics: MetricsRegistry):
+        self.metrics = metrics
+
+    async def lookup(self, key: str, owner, peer=None) -> Optional[dict]:
+        """The cached result for ``key``, or ``None`` after all tiers miss."""
+        self.metrics.counter("cluster.cache_lookups").inc()
+        value, tier = await owner.cache_probe(key)
+        if value is not None:
+            self.metrics.counter(f"cluster.cache_hits.{tier}").inc()
+            return value
+        if peer is not None and peer is not owner:
+            value, _ = await peer.cache_probe(key)
+            if value is not None:
+                self.metrics.counter("cluster.cache_hits.peer").inc()
+                # warm the owner so the key's next lookup is tier-1
+                await owner.cache_put(key, value)
+                return value
+        self.metrics.counter("cluster.cache_misses").inc()
+        return None
+
+    async def store(self, key: str, value: dict, owner) -> None:
+        """Warm the owner's cache after a recompute elsewhere."""
+        await owner.cache_put(key, value)
+
+    def stats(self) -> dict:
+        """Per-tier hit/miss counts (reads the shared registry)."""
+        counters = self.metrics.snapshot()["counters"]
+        lookups = counters.get("cluster.cache_lookups", 0)
+        hits = sum(
+            counters.get(f"cluster.cache_hits.{tier}", 0)
+            for tier in ("mem", "disk", "peer")
+        )
+        return {
+            "lookups": lookups,
+            "hits": {
+                tier: counters.get(f"cluster.cache_hits.{tier}", 0)
+                for tier in ("mem", "disk", "peer")
+            },
+            "misses": counters.get("cluster.cache_misses", 0),
+            "hit_rate": round(hits / lookups, 4) if lookups else 0.0,
+        }

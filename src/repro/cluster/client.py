@@ -1,0 +1,268 @@
+"""Async HTTP clients for the cluster: shard-facing and front-facing.
+
+Both are raw ``asyncio`` streams speaking minimal HTTP/1.1 with
+``Connection: close`` — one request per connection, no external
+dependencies.  :class:`AsyncServiceClient` is the router's transport
+to *subprocess shards* (each one a stock ``repro-serve``);
+:class:`AsyncClusterClient` is the public client of the *cluster
+front-end* and knows the two cluster-specific conventions: the
+``X-Tenant`` header and 429 throttling (it waits out the server's
+``retry_after`` a bounded number of times before giving up).
+
+Connect and read phases get separate timeouts, mirroring the sync
+:class:`~repro.service.client.ServiceClient`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Awaitable, Callable, Optional, Tuple
+
+from ..service.client import ServiceError, ServiceUnavailable
+
+
+async def _read_response(reader: asyncio.StreamReader) -> Tuple[int, dict, bytes]:
+    """Parse one HTTP/1.1 response: ``(status, headers, body)``."""
+    status_line = await reader.readline()
+    parts = status_line.decode("latin-1").split(None, 2)
+    if len(parts) < 2 or not parts[1].isdigit():
+        raise ConnectionError(f"malformed HTTP status line: {status_line!r}")
+    status = int(parts[1])
+    headers: dict = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = headers.get("content-length")
+    if length is not None:
+        body = await reader.readexactly(int(length))
+    else:
+        body = await reader.read()
+    return status, headers, body
+
+
+class AsyncServiceClient:
+    """One shard's JSON API over asyncio streams."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        connect_timeout: float = 5.0,
+        read_timeout: float = 120.0,
+    ):
+        self.host = host
+        self.port = port
+        self.connect_timeout = connect_timeout
+        self.read_timeout = read_timeout
+
+    async def request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[dict] = None,
+        headers: Optional[dict] = None,
+    ) -> Tuple[int, dict, bytes]:
+        """One round trip: ``(status, response headers, body bytes)``.
+
+        Transport failures raise ``OSError`` subclasses for the caller
+        (the router treats them as a dead or partitioned shard).
+        """
+        payload = json.dumps(body).encode() if body is not None else b""
+        request_lines = [
+            f"{method} {path} HTTP/1.1",
+            f"Host: {self.host}:{self.port}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(payload)}",
+            "Connection: close",
+        ]
+        for name, value in (headers or {}).items():
+            request_lines.append(f"{name}: {value}")
+        blob = ("\r\n".join(request_lines) + "\r\n\r\n").encode() + payload
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(self.host, self.port),
+            timeout=self.connect_timeout,
+        )
+        try:
+            writer.write(blob)
+            await writer.drain()
+            status, response_headers, response_body = await asyncio.wait_for(
+                _read_response(reader), timeout=self.read_timeout
+            )
+        except asyncio.TimeoutError as error:
+            raise TimeoutError(
+                f"read from {self.host}:{self.port} timed out "
+                f"after {self.read_timeout}s"
+            ) from error
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (OSError, asyncio.TimeoutError):  # pragma: no cover
+                pass
+        return status, response_headers, response_body
+
+    async def request_json(
+        self,
+        method: str,
+        path: str,
+        body: Optional[dict] = None,
+        headers: Optional[dict] = None,
+    ) -> dict:
+        """One round trip, raising :class:`ServiceError` on non-2xx."""
+        status, response_headers, payload = await self.request(
+            method, path, body, headers
+        )
+        if 200 <= status < 300:
+            return json.loads(payload) if payload else {}
+        try:
+            document = json.loads(payload)
+            message = document.get("error", f"status {status}")
+            retry_after = document.get("retry_after")
+        except ValueError:
+            message, retry_after = f"status {status}", None
+        if retry_after is None and "retry-after" in response_headers:
+            try:
+                retry_after = float(response_headers["retry-after"])
+            except ValueError:
+                retry_after = None
+        raise ServiceError(status, str(message), retry_after=retry_after)
+
+    # -- the shard protocol ------------------------------------------------
+
+    async def healthz(self) -> dict:
+        return await self.request_json("GET", "/healthz")
+
+    async def metrics(self) -> dict:
+        return await self.request_json("GET", "/metrics")
+
+    async def cache_get(self, key: str) -> Optional[dict]:
+        """Peer-fetch probe; a 404 is a miss, not an error."""
+        try:
+            return await self.request_json("GET", f"/cache/{key}")
+        except ServiceError as error:
+            if error.status == 404:
+                return None
+            raise
+
+    async def cache_put(self, key: str, result: dict) -> bool:
+        response = await self.request_json(
+            "POST", f"/cache/{key}", {"result": result}
+        )
+        return bool(response.get("stored"))
+
+
+class AsyncClusterClient:
+    """Tenant-aware client of the ``repro-cluster`` front-end.
+
+    Requests carry the tenant in ``X-Tenant``; a 429 answer is retried
+    after waiting the server-provided ``retry_after`` (preferring the
+    exact float in the JSON body over the coarser header), at most
+    ``max_throttle_retries`` times.  ``sleep`` is injectable so quota
+    tests verify the wait without actually waiting.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        tenant: str = "",
+        connect_timeout: float = 5.0,
+        read_timeout: float = 300.0,
+        max_throttle_retries: int = 4,
+        sleep: Callable[[float], Awaitable[None]] = asyncio.sleep,
+    ):
+        self._transport = AsyncServiceClient(
+            host, port, connect_timeout=connect_timeout, read_timeout=read_timeout
+        )
+        self.tenant = tenant
+        self.max_throttle_retries = max_throttle_retries
+        self._sleep = sleep
+        self.throttled_waits: list = []  # observed Retry-After values
+
+    async def request(
+        self, method: str, path: str, body: Optional[dict] = None
+    ) -> dict:
+        headers = {"X-Tenant": self.tenant} if self.tenant else None
+        attempts = 0
+        while True:
+            try:
+                return await self._transport.request_json(
+                    method, path, body, headers
+                )
+            except ServiceError as error:
+                if error.status != 429 or attempts >= self.max_throttle_retries:
+                    raise
+                attempts += 1
+                wait = error.retry_after if error.retry_after is not None else 0.1
+                self.throttled_waits.append(wait)
+                await self._sleep(wait)
+
+    # -- endpoints ---------------------------------------------------------
+
+    async def healthz(self) -> dict:
+        return await self.request("GET", "/healthz")
+
+    async def metrics(self) -> dict:
+        return await self.request("GET", "/metrics")
+
+    async def metrics_text(self) -> str:
+        status, _, payload = await self._transport.request(
+            "GET", "/metrics?format=prom"
+        )
+        if status != 200:
+            raise ServiceError(status, payload.decode(errors="replace"))
+        return payload.decode()
+
+    async def cluster(self) -> dict:
+        return await self.request("GET", "/cluster")
+
+    async def analyze(
+        self, source: str, label: str = "", legacy: bool = False
+    ) -> dict:
+        return await self.request(
+            "POST",
+            "/analyze",
+            {"source": source, "label": label, "legacy": legacy},
+        )
+
+    async def sweep(self, sources, legacy: bool = False) -> dict:
+        """Analyze ``(label, source)`` pairs; reports come back in order."""
+        return await self.request(
+            "POST",
+            "/analyze",
+            {
+                "sources": [[label, source] for label, source in sources],
+                "legacy": legacy,
+            },
+        )
+
+    async def attacks(
+        self, attack: Optional[str] = None, env: str = "unprotected"
+    ) -> dict:
+        body: dict = {"env": env}
+        if attack:
+            body["attack"] = attack
+        return await self.request("POST", "/attacks", body)
+
+    async def execute(self, source: str, **options) -> dict:
+        body = {"source": source}
+        body.update(options)
+        return await self.request("POST", "/exec", body)
+
+    async def drain(self, shard_id: str) -> dict:
+        return await self.request("POST", "/admin/drain", {"shard": shard_id})
+
+    async def kill(self, shard_id: str) -> dict:
+        return await self.request("POST", "/admin/kill", {"shard": shard_id})
+
+
+__all__ = [
+    "AsyncClusterClient",
+    "AsyncServiceClient",
+    "ServiceError",
+    "ServiceUnavailable",
+]

@@ -1,0 +1,126 @@
+"""Consistent-hash ring: content-hash job keys → shard ids.
+
+Each shard contributes ``vnodes`` virtual points to a shared 64-bit
+hash space (the first 8 bytes of ``sha256("<shard>#<replica>")``); a
+key is owned by the first point clockwise from its own hash.  Virtual
+nodes smooth the load split, and — the property the cluster leans on —
+removing one shard of N remaps *only* the keys that shard owned
+(~K/N of them), each to the next point clockwise, while every other
+key keeps its owner.  Everything is derived from shard ids alone, so
+two processes configured with the same shards and vnodes compute
+byte-identical assignments (:meth:`HashRing.assignment_digest`).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def _point(label: str) -> int:
+    """A stable position in the 64-bit ring space."""
+    digest = hashlib.sha256(label.encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """A consistent-hash ring over named shards."""
+
+    def __init__(self, shards: Sequence[str] = (), vnodes: int = 64):
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        self._points: List[Tuple[int, str]] = []
+        self._shards: List[str] = []
+        for shard in shards:
+            self.add(shard)
+
+    # -- membership --------------------------------------------------------
+
+    def add(self, shard_id: str) -> None:
+        """Join a shard: its vnode points are spliced into the ring."""
+        if not shard_id:
+            raise ValueError("shard_id must be non-empty")
+        if shard_id in self._shards:
+            raise ValueError(f"shard '{shard_id}' already on the ring")
+        self._shards.append(shard_id)
+        for replica in range(self.vnodes):
+            entry = (_point(f"{shard_id}#{replica}"), shard_id)
+            bisect.insort(self._points, entry)
+
+    def remove(self, shard_id: str) -> None:
+        """Leave the ring; the departed shard's keys fall to successors."""
+        if shard_id not in self._shards:
+            raise KeyError(f"shard '{shard_id}' not on the ring")
+        self._shards.remove(shard_id)
+        self._points = [p for p in self._points if p[1] != shard_id]
+
+    @property
+    def shards(self) -> List[str]:
+        """Member shard ids in join order."""
+        return list(self._shards)
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def __contains__(self, shard_id: str) -> bool:
+        return shard_id in self._shards
+
+    # -- assignment --------------------------------------------------------
+
+    def assign(self, key: str) -> str:
+        """The shard owning ``key``: first vnode point clockwise."""
+        if not self._points:
+            raise LookupError("ring has no shards")
+        index = bisect.bisect_right(self._points, (_point(key), "\uffff"))
+        if index == len(self._points):
+            index = 0  # wrap past the top of the hash space
+        return self._points[index][1]
+
+    def successor(self, key: str, exclude: str) -> Optional[str]:
+        """The first shard clockwise from ``key`` that is not ``exclude``.
+
+        This is where ``key`` lands if ``exclude`` (its owner) leaves
+        the ring — and therefore the peer most likely to hold a cached
+        result for ``key`` after a topology change.  ``None`` when no
+        other shard exists.
+        """
+        if not self._points:
+            return None
+        start = bisect.bisect_right(self._points, (_point(key), "\uffff"))
+        total = len(self._points)
+        for offset in range(total):
+            shard = self._points[(start + offset) % total][1]
+            if shard != exclude:
+                return shard
+        return None
+
+    # -- determinism & balance --------------------------------------------
+
+    def assignment_digest(self, keys: Sequence[str]) -> str:
+        """sha256 over ``key→shard`` for ``keys`` — cross-process identity.
+
+        Two ring instances with the same config produce the same
+        digest for the same key sample, no matter which process (or
+        machine) computed it.
+        """
+        digest = hashlib.sha256()
+        for key in keys:
+            digest.update(f"{key}={self.assign(key)}\n".encode())
+        return digest.hexdigest()
+
+    def spread(self, keys: Sequence[str]) -> Dict[str, int]:
+        """How many of ``keys`` each shard owns (load-balance check)."""
+        counts: Dict[str, int] = {shard: 0 for shard in self._shards}
+        for key in keys:
+            counts[self.assign(key)] += 1
+        return counts
+
+    def describe(self) -> dict:
+        """Topology snapshot for ``GET /cluster``."""
+        return {
+            "shards": sorted(self._shards),
+            "vnodes": self.vnodes,
+            "points": len(self._points),
+        }

@@ -1,0 +1,298 @@
+"""The cluster router: ring assignment, tiered cache, failover.
+
+Every job takes the same deterministic path: its content-hash key is
+assigned to an owner shard by the consistent-hash ring; cacheable jobs
+consult the tiered cache (owner mem → disk → ring-successor peer)
+before any compute; misses run on the owner.  A shard that dies with
+work in flight raises :class:`~repro.cluster.shard.ShardLost`, the
+router removes it from the ring, and the job is *re-dispatched* to the
+key's new owner — which is exactly the ring successor, so failover and
+cache-peer locality are the same mechanism.
+
+Because job results are pure functions of their payloads and sweeps
+gather results in submission order, report bytes are identical at any
+shard count, with any shard killed mid-sweep, on every run — the
+cluster's equivalent of the scheduler's determinism rule.
+
+The dispatch seam honors :data:`~repro.service.faults.CLUSTER_FAULTS`:
+a ``shard-crash`` rule kills the owner before dispatch (exercising the
+failover path on demand); a ``partition`` rule makes the owner
+unreachable for one request, routing it to the ring successor instead.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..service.faults import CLUSTER_FAULTS, FaultKind, FaultPlan, fault_plan_from
+from ..service.jobs import Job
+from ..service.metrics import MetricsRegistry, render_prometheus
+from .cache import TieredCache
+from .ring import HashRing
+from .shard import DRAINING, InProcessShard, ShardLost, SubprocessShard
+
+
+class ClusterError(RuntimeError):
+    """The cluster cannot serve the request (no live shards)."""
+
+
+class ClusterRouter:
+    """Routes jobs over the ring; owns shard lifecycle and accounting."""
+
+    def __init__(
+        self,
+        shards: Sequence = (),
+        vnodes: int = 64,
+        fault_plan: "FaultPlan | str | None" = None,
+        max_redispatch: int = 8,
+    ):
+        self.metrics = MetricsRegistry()
+        self.ring = HashRing(vnodes=vnodes)
+        self.shards: Dict[str, object] = {}
+        self.fault_plan = fault_plan_from(fault_plan)
+        self.cache = TieredCache(self.metrics)
+        self.max_redispatch = max_redispatch
+        self._lock = asyncio.Lock()  # guards ring/shard-map mutation
+        for shard in shards:
+            self.shards[shard.shard_id] = shard
+            self.ring.add(shard.shard_id)
+        self._update_live_gauge()
+
+    def _update_live_gauge(self) -> None:
+        self.metrics.gauge("cluster.shards_live").set(len(self.ring))
+
+    # -- topology ----------------------------------------------------------
+
+    def add_shard(self, shard) -> None:
+        """Join a shard; ~K/N keys remap onto it, the rest stay put."""
+        if shard.shard_id in self.shards:
+            raise ValueError(f"shard '{shard.shard_id}' already present")
+        self.shards[shard.shard_id] = shard
+        self.ring.add(shard.shard_id)
+        self._update_live_gauge()
+
+    def kill_shard(self, shard_id: str) -> None:
+        """Crash a shard: its in-flight work is lost and re-dispatched."""
+        shard = self.shards.get(shard_id)
+        if shard is None:
+            raise KeyError(f"no shard '{shard_id}'")
+        shard.kill()
+        self._detach(shard_id)
+        self.metrics.counter("cluster.shards_killed").inc()
+
+    def _detach(self, shard_id: str) -> None:
+        if shard_id in self.ring:
+            self.ring.remove(shard_id)
+            self.metrics.counter("cluster.shards_lost").inc()
+            self._update_live_gauge()
+
+    async def drain_shard(self, shard_id: str, poll: float = 0.01) -> dict:
+        """Gracefully remove a shard: new keys remap, its queue finishes.
+
+        The shard leaves the ring immediately (so nothing new routes to
+        it) but keeps running everything it already accepted; this
+        coroutine resolves once its in-flight count hits zero.
+        """
+        shard = self.shards.get(shard_id)
+        if shard is None:
+            raise KeyError(f"no shard '{shard_id}'")
+        shard.start_drain()
+        if shard_id in self.ring:
+            self.ring.remove(shard_id)
+            self._update_live_gauge()
+        while shard.inflight > 0:
+            await asyncio.sleep(poll)
+        self.metrics.counter("cluster.shards_drained").inc()
+        return shard.describe()
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _live_shard(self, shard_id: Optional[str]):
+        if shard_id is None:
+            return None
+        shard = self.shards.get(shard_id)
+        if shard is None or shard.state == "dead":
+            return None
+        return shard
+
+    async def submit_job(self, job: Job) -> dict:
+        """Run one job to a result, surviving shard loss and partitions."""
+        key = job.key()
+        self.metrics.counter("cluster.jobs_routed").inc()
+        for _ in range(self.max_redispatch + 1):
+            async with self._lock:
+                if not len(self.ring):
+                    raise ClusterError("no live shards on the ring")
+                owner_id = self.ring.assign(key)
+                peer_id = self.ring.successor(key, exclude=owner_id)
+                rule = (
+                    self.fault_plan.activate(
+                        CLUSTER_FAULTS, job_kind=job.KIND, key=key
+                    )
+                    if self.fault_plan is not None
+                    else None
+                )
+                if rule is not None and rule.kind is FaultKind.SHARD_CRASH:
+                    shard = self.shards[owner_id]
+                    shard.kill()
+                    self._detach(owner_id)
+                    self.metrics.counter("cluster.shards_killed").inc()
+                    continue  # re-assign under the new topology
+            owner = self._live_shard(owner_id)
+            if owner is None:
+                async with self._lock:
+                    self._detach(owner_id)
+                continue
+            target = owner
+            if rule is not None and rule.kind is FaultKind.PARTITION:
+                self.metrics.counter("cluster.partitions").inc()
+                fallback = self._live_shard(peer_id)
+                if fallback is not None:
+                    target = fallback
+            if job.CACHEABLE and target is owner:
+                peer = self._live_shard(peer_id)
+                cached = await self.cache.lookup(key, owner, peer)
+                if cached is not None:
+                    self.metrics.counter("cluster.jobs_completed").inc()
+                    return cached
+            try:
+                result = await target.run_job(job)
+            except ShardLost:
+                async with self._lock:
+                    self._detach(target.shard_id)
+                if target.state != DRAINING:
+                    # a drain refusal is a routing race, not a loss
+                    self.metrics.counter("cluster.redispatches").inc()
+                continue
+            if job.CACHEABLE and target is not owner and owner.state != "dead":
+                # a rerouted compute still warms the key's true owner
+                await self.cache.store(key, result, owner)
+            self.metrics.counter("cluster.jobs_completed").inc()
+            return result
+        raise ClusterError(
+            f"job {key} could not be placed after "
+            f"{self.max_redispatch + 1} dispatch attempts"
+        )
+
+    async def sweep(self, jobs: Iterable[Job]) -> List[dict]:
+        """Run many jobs concurrently, results in submission order.
+
+        ``asyncio.gather`` preserves argument order regardless of
+        completion order, so sweep reports are byte-identical at any
+        shard count — including runs where a shard dies mid-sweep and
+        its jobs re-dispatch.
+        """
+        return list(await asyncio.gather(*(self.submit_job(job) for job in jobs)))
+
+    # -- introspection -----------------------------------------------------
+
+    def topology(self) -> dict:
+        """Ring + shard state for ``GET /cluster``."""
+        return {
+            "ring": self.ring.describe(),
+            "shards": {
+                shard_id: shard.describe()
+                for shard_id, shard in sorted(self.shards.items())
+            },
+        }
+
+    async def metrics_document(self) -> dict:
+        """Cluster counters plus every live shard's own snapshot."""
+        document = self.metrics.snapshot()
+        document["tiers"] = self.cache.stats()
+        document["shards"] = {}
+        for shard_id, shard in sorted(self.shards.items()):
+            if shard.state == "dead":
+                document["shards"][shard_id] = {"state": "dead"}
+                continue
+            try:
+                document["shards"][shard_id] = await shard.metrics_snapshot()
+            except (ShardLost, OSError, asyncio.IncompleteReadError):
+                document["shards"][shard_id] = {"state": "unreachable"}
+        return document
+
+    async def metrics_prometheus(self) -> str:
+        """One scrape covering the router and every live shard.
+
+        The router's own samples carry ``shard_id="router"``; shard
+        samples carry their own ids.  ``# TYPE`` lines are emitted once
+        (by the router render and the first shard render) so the
+        concatenation stays a valid exposition document.
+        """
+        snapshot = self.metrics.snapshot()
+        # counter names already carry the cluster. prefix; the shared
+        # "repro" namespace keeps them as repro_cluster_*
+        parts = [
+            render_prometheus(snapshot, labels={"shard_id": "router"})
+        ]
+        first = True
+        for shard_id, shard in sorted(self.shards.items()):
+            if shard.state == "dead":
+                continue
+            try:
+                parts.append(await shard.metrics_prometheus(emit_types=first))
+                first = False
+            except (ShardLost, OSError, asyncio.IncompleteReadError):
+                continue
+        return "".join(parts)
+
+    async def close(self) -> None:
+        for shard in self.shards.values():
+            await shard.close()
+
+
+async def build_shards(
+    count: int,
+    mode: str = "inprocess",
+    workers: int = 2,
+    backend: str = "thread",
+    cache_dir: Optional[str] = None,
+    use_cache: bool = True,
+    fault_plan=None,
+    prefix: str = "s",
+) -> List:
+    """``count`` started shards named ``<prefix>0..<prefix>N-1``.
+
+    ``mode`` picks the implementation: ``"inprocess"`` engines for
+    tests and the default CLI, ``"subprocess"`` child ``repro-serve``
+    processes for deployment-shaped runs.  Subprocess shards cannot
+    honor an in-memory fault plan; pass fault specs to the child
+    processes instead if needed.
+    """
+    shards: List = []
+    if mode == "inprocess":
+        for index in range(count):
+            shards.append(
+                InProcessShard(
+                    f"{prefix}{index}",
+                    workers=workers,
+                    backend=backend,
+                    cache_dir=cache_dir,
+                    use_cache=use_cache,
+                    fault_plan=fault_plan,
+                )
+            )
+        return shards
+    if mode != "subprocess":
+        raise ValueError(f"unknown shard mode '{mode}'")
+    shards = [
+        SubprocessShard(
+            f"{prefix}{index}",
+            workers=workers,
+            backend=backend,
+            cache_dir=cache_dir,
+            use_cache=use_cache,
+        )
+        for index in range(count)
+    ]
+    started: List = []
+    try:
+        for shard in shards:
+            await shard.start()
+            started.append(shard)
+    except Exception:
+        for shard in started:
+            await shard.close()
+        raise
+    return shards

@@ -10,10 +10,11 @@ the lifecycle together.  See ``docs/SERVICE.md``.
 """
 
 from .cache import ResultCache, default_cache_version
-from .client import ServiceClient, ServiceError
+from .client import ServiceClient, ServiceError, ServiceUnavailable, backoff_delay
 from .engine import ServiceEngine
 from .faults import (
     CACHE_FAULTS,
+    CLUSTER_FAULTS,
     DISPATCH_FAULTS,
     WORKER_FAULTS,
     FaultInjected,
@@ -58,6 +59,7 @@ __all__ = [
     "AnalyzeJob",
     "AttackJob",
     "CACHE_FAULTS",
+    "CLUSTER_FAULTS",
     "Counter",
     "DISPATCH_FAULTS",
     "ExecJob",
@@ -86,11 +88,13 @@ __all__ = [
     "ServiceEngine",
     "ServiceError",
     "ServiceHTTPServer",
+    "ServiceUnavailable",
     "TraceBuffer",
     "TraceSpan",
     "TransientWorkerError",
     "WORKER_FAULTS",
     "WorkerPool",
+    "backoff_delay",
     "create_server",
     "default_cache_version",
     "execute_job",

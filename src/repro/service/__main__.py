@@ -1,0 +1,13 @@
+"""``python -m repro.service`` — run one ``repro-serve`` process.
+
+The cluster front-end launches its subprocess shards through this
+module so a shard needs only the interpreter, not an installed
+``repro-serve`` console script.
+"""
+
+import sys
+
+from ..cli import serve_main
+
+if __name__ == "__main__":
+    sys.exit(serve_main())

@@ -1,51 +1,176 @@
-"""A small stdlib client for the ``repro-serve`` JSON API."""
+"""A small stdlib client for the ``repro-serve`` JSON API.
+
+The transport is :mod:`http.client` rather than urllib so the connect
+and read phases get *separate* timeouts: a shard that accepts the TCP
+handshake but then stalls mid-response trips the read timeout instead
+of hanging a CLI user forever.  Transient socket failures (connection
+refused during shard startup, resets, timeouts) are retried a bounded
+number of times with the scheduler's deterministic decorrelated-jitter
+backoff; a server that *responds* with a non-2xx status is never
+retried — that is a :class:`ServiceError` for the caller to interpret.
+"""
 
 from __future__ import annotations
 
+import hashlib
+import http.client
 import json
-import urllib.error
-import urllib.request
-from typing import Optional, Sequence
+import time
+from typing import Callable, Optional, Sequence
+from urllib.parse import urlsplit
 
 
 class ServiceError(RuntimeError):
     """A non-2xx response from the service."""
 
-    def __init__(self, status: int, message: str):
+    def __init__(self, status: int, message: str, retry_after: Optional[float] = None):
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
         self.message = message
+        #: Seconds the server asked us to wait (429 responses), else None.
+        self.retry_after = retry_after
+
+
+class ServiceUnavailable(ServiceError):
+    """The service could not be reached after every retry attempt."""
+
+    def __init__(self, url: str, attempts: int, cause: Exception):
+        RuntimeError.__init__(
+            self,
+            f"service at {url} unreachable after {attempts} "
+            f"attempt{'s' if attempts != 1 else ''}: {cause}",
+        )
+        self.status = 0
+        self.message = str(cause)
+        self.retry_after = None
+        self.attempts = attempts
+
+
+def backoff_delay(key: str, attempt: int, base: float, cap: float) -> float:
+    """Exponential backoff with deterministic, key-seeded jitter.
+
+    The same idiom as the scheduler's retry path: hashing
+    ``key:attempt`` gives every (request, attempt) pair its own stable
+    fraction in ``[0, 1)``, spreading retry herds across clients while
+    staying byte-for-byte reproducible across runs and processes.
+    """
+    ceiling = min(base * (2 ** (attempt - 1)), cap)
+    digest = hashlib.sha256(f"{key}:{attempt}".encode()).digest()
+    fraction = int.from_bytes(digest[:8], "big") / 2**64
+    return min(cap, ceiling * (0.5 + fraction))
 
 
 class ServiceClient:
-    """Typed wrappers over the service endpoints."""
+    """Typed wrappers over the service endpoints.
 
-    def __init__(self, base_url: str, timeout: float = 30.0):
+    ``timeout`` is the legacy single knob and remains the default for
+    both phases; ``connect_timeout``/``read_timeout`` override it
+    individually.  ``retries`` bounds re-attempts after transient
+    socket errors (0 disables); ``sleep`` is injectable so tests can
+    count backoff delays without waiting them out.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        connect_timeout: Optional[float] = None,
+        read_timeout: Optional[float] = None,
+        retries: int = 2,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.connect_timeout = connect_timeout if connect_timeout is not None else timeout
+        self.read_timeout = read_timeout if read_timeout is not None else timeout
+        self.retries = max(0, retries)
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self._sleep = sleep
+        parsed = urlsplit(self.base_url)
+        if parsed.scheme not in ("http", ""):
+            raise ValueError(f"unsupported URL scheme '{parsed.scheme}'")
+        self._host = parsed.hostname or "127.0.0.1"
+        self._port = parsed.port or 80
 
-    def _request(self, method: str, path: str, body: Optional[dict] = None) -> dict:
-        return json.loads(self._request_raw(method, path, body))
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[dict] = None,
+        headers: Optional[dict] = None,
+    ) -> dict:
+        return json.loads(self._request_raw(method, path, body, headers))
 
     def _request_raw(
-        self, method: str, path: str, body: Optional[dict] = None
+        self,
+        method: str,
+        path: str,
+        body: Optional[dict] = None,
+        headers: Optional[dict] = None,
     ) -> bytes:
         data = json.dumps(body).encode() if body is not None else None
-        request = urllib.request.Request(
-            self.base_url + path,
-            data=data,
-            method=method,
-            headers={"Content-Type": "application/json"},
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                return self._attempt(method, path, data, headers)
+            except (OSError, http.client.HTTPException) as error:
+                if attempts > self.retries:
+                    raise ServiceUnavailable(
+                        self.base_url + path, attempts, error
+                    ) from error
+                self._sleep(
+                    backoff_delay(
+                        f"{method} {path}",
+                        attempts,
+                        self.backoff_base,
+                        self.backoff_cap,
+                    )
+                )
+
+    def _attempt(
+        self,
+        method: str,
+        path: str,
+        data: Optional[bytes],
+        headers: Optional[dict],
+    ) -> bytes:
+        connection = http.client.HTTPConnection(
+            self._host, self._port, timeout=self.connect_timeout
         )
         try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                return response.read()
-        except urllib.error.HTTPError as error:
-            try:
-                message = json.loads(error.read()).get("error", error.reason)
-            except ValueError:
-                message = str(error.reason)
-            raise ServiceError(error.code, message) from None
+            connection.connect()
+            if connection.sock is not None:
+                # the connect deadline has been met; everything after
+                # this point is governed by the read timeout
+                connection.sock.settimeout(self.read_timeout)
+            request_headers = {"Content-Type": "application/json"}
+            if headers:
+                request_headers.update(headers)
+            connection.request(method, path, body=data, headers=request_headers)
+            response = connection.getresponse()
+            payload = response.read()
+        finally:
+            connection.close()
+        if 200 <= response.status < 300:
+            return payload
+        try:
+            document = json.loads(payload)
+            message = document.get("error", response.reason)
+            retry_after = document.get("retry_after")
+        except (ValueError, AttributeError):
+            message, retry_after = str(response.reason), None
+        if retry_after is None:
+            header = response.getheader("Retry-After")
+            if header is not None:
+                try:
+                    retry_after = float(header)
+                except ValueError:
+                    retry_after = None
+        raise ServiceError(response.status, str(message), retry_after=retry_after)
 
     # -- endpoints ---------------------------------------------------------
 
@@ -66,6 +191,25 @@ class ServiceClient:
     def traces(self) -> dict:
         """``{"keys": [...]}`` — every job key with a retained trace."""
         return self._request("GET", "/trace")
+
+    def cache_get(self, key: str) -> Optional[dict]:
+        """Probe the server's result cache: the cached result or ``None``.
+
+        The cluster front-end's peer-fetch tier; a 404 (cache miss on
+        the peer) is a normal outcome, not an error.
+        """
+        try:
+            return self._request("GET", f"/cache/{key}")
+        except ServiceError as error:
+            if error.status == 404:
+                return None
+            raise
+
+    def cache_put(self, key: str, result: dict) -> bool:
+        """Warm the server's result cache with an externally computed result."""
+        return bool(
+            self._request("POST", f"/cache/{key}", {"result": result}).get("stored")
+        )
 
     def analyze(
         self,

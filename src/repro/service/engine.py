@@ -48,7 +48,9 @@ class ServiceEngine:
         max_retries: int = 2,
         fault_plan: "FaultPlan | str | None" = None,
         trace_capacity: int = 512,
+        shard_id: str = "",
     ):
+        self.shard_id = shard_id
         self.metrics = MetricsRegistry()
         self.fault_plan = fault_plan_from(fault_plan)
         self.traces = TraceBuffer(capacity=trace_capacity)
@@ -424,11 +426,41 @@ class ServiceEngine:
         from ..execution.vm import cache_stats
 
         snapshot["bytecode"] = cache_stats()
+        if self.shard_id:
+            snapshot["shard"] = {"shard_id": self.shard_id}
         return snapshot
 
-    def metrics_prometheus(self) -> str:
-        """The snapshot in Prometheus text exposition format."""
-        return render_prometheus(self.metrics_snapshot())
+    def metrics_prometheus(self, emit_types: bool = True) -> str:
+        """The snapshot in Prometheus text exposition format.
+
+        A shard-scoped engine labels every sample with its
+        ``shard_id``, so the cluster front-end can concatenate the
+        renders of all shards into one scrape (pass
+        ``emit_types=False`` for every shard after the first so
+        ``# TYPE`` lines appear once).
+        """
+        labels = {"shard_id": self.shard_id} if self.shard_id else None
+        return render_prometheus(
+            self.metrics_snapshot(), labels=labels, emit_types=emit_types
+        )
+
+    # -- cluster cache seam ------------------------------------------------
+
+    def cache_lookup(self, key: str) -> "tuple[Optional[dict], Optional[str]]":
+        """``(value, tier)`` from this shard's result cache, or ``(None, None)``.
+
+        The cluster router's tiered cache uses this to peek a peer
+        shard's cache (tier ``"mem"`` or ``"disk"``) before recomputing.
+        """
+        if self.cache is None:
+            return None, None
+        return self.cache.probe(key)
+
+    def cache_store(self, key: str, value: dict) -> bool:
+        """Warm this shard's cache with a result computed elsewhere."""
+        if self.cache is None:
+            return False
+        return self.cache.put(key, value)
 
     def trace(self, key: str) -> Optional[dict]:
         """The span record of the latest submission of ``key``, if traced."""
@@ -439,10 +471,13 @@ class ServiceEngine:
         """Liveness payload for ``/healthz``."""
         from .. import __version__
 
-        return {
+        payload = {
             "status": "ok",
             "version": __version__,
             "workers": self.pool.size,
             "backend": self.pool.backend,
             "cache": self.cache is not None,
         }
+        if self.shard_id:
+            payload["shard_id"] = self.shard_id
+        return payload

@@ -25,6 +25,11 @@ Seam ownership:
   raised before dispatch, exercising the retry/backoff machinery.
 - ``cache.py`` honors :data:`CACHE_FAULTS` (``unwritable-disk``,
   ``slow-disk``, ``corrupt-cache``) at the disk-write seam.
+- ``repro.cluster.router`` honors :data:`CLUSTER_FAULTS`
+  (``shard-crash``, ``partition``) at its dispatch seam — a shard
+  crash kills the job's owner shard before dispatch (exercising ring
+  failover and re-dispatch), a partition makes the owner unreachable
+  for that one request so it routes to the ring successor instead.
 
 Plans are deterministic: rules fire in order, each at most ``times``
 times (``None`` = unlimited), so a test or a ``repro-serve
@@ -52,6 +57,8 @@ class FaultKind(str, enum.Enum):
     UNWRITABLE_DISK = "unwritable-disk"  # cache write raises OSError
     SLOW_DISK = "slow-disk"  # cache write sleeps rule.delay seconds
     CORRUPT_CACHE = "corrupt-cache"  # cache writes an unparseable entry
+    SHARD_CRASH = "shard-crash"  # cluster router kills the owner shard
+    PARTITION = "partition"  # owner unreachable for one request
 
 
 #: Kinds honored by the :class:`~repro.service.workers.WorkerPool` seam.
@@ -63,6 +70,11 @@ CACHE_FAULTS: Tuple[FaultKind, ...] = (
     FaultKind.UNWRITABLE_DISK,
     FaultKind.SLOW_DISK,
     FaultKind.CORRUPT_CACHE,
+)
+#: Kinds honored by the cluster router's dispatch seam.
+CLUSTER_FAULTS: Tuple[FaultKind, ...] = (
+    FaultKind.SHARD_CRASH,
+    FaultKind.PARTITION,
 )
 
 

@@ -1,0 +1,108 @@
+"""Tenant token buckets: exact-capacity bursts, refill math, isolation."""
+
+import pytest
+
+from repro.cluster import QuotaManager, TokenBucket, parse_override
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_at_exactly_capacity_is_granted(self):
+        bucket = TokenBucket(capacity=8, refill_rate=1)
+        granted, retry_after = bucket.try_take(now=0.0, cost=8)
+        assert granted and retry_after == 0.0
+
+    def test_one_past_capacity_is_denied_with_exact_wait(self):
+        bucket = TokenBucket(capacity=8, refill_rate=2)
+        assert bucket.try_take(now=0.0, cost=8)[0]
+        granted, retry_after = bucket.try_take(now=0.0, cost=1)
+        assert not granted
+        assert retry_after == pytest.approx(0.5)  # 1 token at 2 tokens/s
+
+    def test_refill_is_linear_and_capped(self):
+        bucket = TokenBucket(capacity=4, refill_rate=2)
+        bucket.try_take(now=0.0, cost=4)
+        granted, _ = bucket.try_take(now=1.0, cost=2)  # 2s * 2/s = 2 tokens
+        assert granted
+        # a long idle period cannot overfill past capacity
+        bucket.try_take(now=100.0, cost=0)
+        assert bucket.tokens == pytest.approx(4.0)
+
+    def test_cost_above_capacity_waits_for_a_full_bucket(self):
+        bucket = TokenBucket(capacity=4, refill_rate=1)
+        bucket.try_take(now=0.0, cost=3)
+        granted, retry_after = bucket.try_take(now=0.0, cost=10)
+        assert not granted
+        assert retry_after == pytest.approx(3.0)  # back to full: 3 tokens @ 1/s
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(capacity=0, refill_rate=1)
+        with pytest.raises(ValueError):
+            TokenBucket(capacity=1, refill_rate=0)
+
+
+class TestQuotaManager:
+    def test_tenants_are_isolated(self):
+        clock = FakeClock()
+        quotas = QuotaManager(capacity=2, refill_rate=1, clock=clock)
+        assert quotas.admit("a", cost=2)[0]
+        assert not quotas.admit("a", cost=1)[0]  # a is dry...
+        assert quotas.admit("b", cost=2)[0]  # ...b is untouched
+        assert quotas.admit("c", cost=1)[0]
+
+    def test_refill_after_throttle(self):
+        clock = FakeClock()
+        quotas = QuotaManager(capacity=2, refill_rate=2, clock=clock)
+        quotas.admit("t", cost=2)
+        granted, retry_after = quotas.admit("t", cost=1)
+        assert not granted
+        clock.advance(retry_after)
+        assert quotas.admit("t", cost=1)[0]
+
+    def test_empty_tenant_maps_to_anon(self):
+        clock = FakeClock()
+        quotas = QuotaManager(capacity=1, refill_rate=1, clock=clock)
+        assert quotas.admit("", cost=1)[0]
+        assert not quotas.admit("anon", cost=1)[0]  # same bucket
+
+    def test_overrides_take_precedence(self):
+        clock = FakeClock()
+        quotas = QuotaManager(
+            capacity=1, refill_rate=1, overrides={"vip": (100, 50)}, clock=clock
+        )
+        assert quotas.admit("vip", cost=50)[0]
+        assert not quotas.admit("anon", cost=50)[0]
+
+    def test_stats_accounting(self):
+        clock = FakeClock()
+        quotas = QuotaManager(capacity=2, refill_rate=1, clock=clock)
+        quotas.admit("a", cost=2)
+        quotas.admit("a", cost=2)
+        stats = quotas.stats()
+        assert stats["granted"] == 1
+        assert stats["throttled"] == 1
+        assert stats["tenants"]["a"]["capacity"] == 2.0
+        assert stats["tenants"]["a"]["tokens"] == pytest.approx(0.0)
+
+
+class TestParseOverride:
+    def test_round_trip(self):
+        assert parse_override("team-a=128:32.5") == ("team-a", (128.0, 32.5))
+
+    @pytest.mark.parametrize(
+        "spec", ["", "a", "a=", "a=1", "a=1:", "=1:2", "a=0:2", "a=1:-3"]
+    )
+    def test_malformed_specs_raise(self, spec):
+        with pytest.raises(ValueError):
+            parse_override(spec)

@@ -1,0 +1,125 @@
+"""The consistent-hash ring: balance, minimal remap, cross-process identity."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.cluster import HashRing
+
+SAMPLE = 10_000
+
+
+def keys(seed: int, count: int = SAMPLE):
+    return [f"analyze-{seed:x}{index:06x}" for index in range(count)]
+
+
+class TestAssignment:
+    def test_every_key_gets_a_member_shard(self):
+        ring = HashRing(["s0", "s1", "s2"])
+        for key in keys(0, 500):
+            assert ring.assign(key) in ("s0", "s1", "s2")
+
+    def test_assignment_is_stable(self):
+        ring = HashRing(["s0", "s1", "s2"])
+        sample = keys(1, 200)
+        assert [ring.assign(k) for k in sample] == [ring.assign(k) for k in sample]
+
+    def test_join_order_does_not_matter(self):
+        sample = keys(2, 500)
+        forward = HashRing(["s0", "s1", "s2", "s3"])
+        backward = HashRing(["s3", "s2", "s1", "s0"])
+        assert [forward.assign(k) for k in sample] == [
+            backward.assign(k) for k in sample
+        ]
+
+    def test_spread_is_roughly_balanced(self):
+        ring = HashRing(["s0", "s1", "s2", "s3"], vnodes=64)
+        spread = ring.spread(keys(3))
+        for shard, count in spread.items():
+            # with 64 vnodes each shard should hold 25% +/- 15 points
+            assert 0.10 * SAMPLE < count < 0.40 * SAMPLE, (shard, spread)
+
+    def test_empty_ring_raises(self):
+        with pytest.raises(LookupError):
+            HashRing().assign("k")
+
+    def test_membership_errors(self):
+        ring = HashRing(["s0"])
+        with pytest.raises(ValueError):
+            ring.add("s0")
+        with pytest.raises(ValueError):
+            ring.add("")
+        with pytest.raises(KeyError):
+            ring.remove("ghost")
+        with pytest.raises(ValueError):
+            HashRing(vnodes=0)
+
+
+class TestRemapBound:
+    """Killing 1 of N shards moves at most ~1.5/N of the keyspace."""
+
+    @pytest.mark.parametrize("seed", [11, 23, 37, 59, 71])
+    @pytest.mark.parametrize("shards", [3, 5, 8])
+    def test_remove_moves_at_most_1_5_over_n(self, seed, shards):
+        members = [f"s{index}" for index in range(shards)]
+        ring = HashRing(members, vnodes=64)
+        sample = keys(seed)
+        before = {key: ring.assign(key) for key in sample}
+        victim = members[seed % shards]
+        ring.remove(victim)
+        moved = sum(1 for key in sample if ring.assign(key) != before[key])
+        assert moved <= 1.5 * SAMPLE / shards, (seed, shards, moved)
+
+    def test_only_the_victims_keys_move(self):
+        ring = HashRing(["s0", "s1", "s2", "s3"])
+        sample = keys(4)
+        before = {key: ring.assign(key) for key in sample}
+        successors = {
+            key: ring.successor(key, exclude="s2")
+            for key in sample
+            if before[key] == "s2"
+        }
+        ring.remove("s2")
+        for key in sample:
+            if before[key] != "s2":
+                assert ring.assign(key) == before[key]
+            else:
+                # a remapped key lands exactly on its predicted successor
+                assert ring.assign(key) == successors[key]
+
+    def test_added_shard_only_steals_keys(self):
+        ring = HashRing(["s0", "s1", "s2"])
+        sample = keys(5)
+        before = {key: ring.assign(key) for key in sample}
+        ring.add("s3")
+        for key in sample:
+            owner = ring.assign(key)
+            assert owner == before[key] or owner == "s3"
+
+
+class TestCrossProcessDeterminism:
+    def test_digest_matches_in_a_fresh_interpreter(self):
+        sample = keys(6, 1_000)
+        local = HashRing(["s0", "s1", "s2"], vnodes=32).assignment_digest(sample)
+        script = (
+            "from repro.cluster import HashRing\n"
+            "keys = [f'analyze-6{i:06x}' for i in range(1000)]\n"
+            "print(HashRing(['s0','s1','s2'], vnodes=32)"
+            ".assignment_digest(keys))\n"
+        )
+        remote = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+        assert remote == local
+
+    def test_digest_changes_with_config(self):
+        sample = keys(7, 500)
+        base = HashRing(["s0", "s1"], vnodes=32).assignment_digest(sample)
+        assert HashRing(["s0", "s1"], vnodes=16).assignment_digest(sample) != base
+        assert (
+            HashRing(["s0", "s1", "s2"], vnodes=32).assignment_digest(sample) != base
+        )
