@@ -47,6 +47,8 @@ class Environment:
     checked_pools: bool = False
     shadow_return_stack: bool = False
     vtable_integrity: bool = False
+    vrt: bool = False
+    memory_tagging: bool = False
 
     # -- machine construction ---------------------------------------------
 
@@ -65,6 +67,14 @@ class Environment:
             from ..defenses.vtable_integrity import protect_machine as protect_vtables
 
             machine.vtable_guard = protect_vtables(machine)  # type: ignore[attr-defined]
+        if self.vrt:
+            from ..defenses.vrt import protect_machine as protect_bounds
+
+            protect_bounds(machine)
+        if self.memory_tagging:
+            from ..defenses.tagging import protect_machine as protect_tags
+
+            protect_tags(machine)
         return machine
 
     # -- placement dispatch (the Section 5.1 hook point) -----------------------
@@ -166,6 +176,10 @@ SHADOW_RETURN_STACK = Environment(
 
 VTABLE_INTEGRITY = Environment(label="vtable-integrity", vtable_integrity=True)
 
+VRT_BOUNDS = Environment(label="vrt", vrt=True)
+
+MEMORY_TAGGING = Environment(label="memory-tagging", memory_tagging=True)
+
 ALL_ENVIRONMENTS = (
     UNPROTECTED,
     STACKGUARD,
@@ -175,6 +189,8 @@ ALL_ENVIRONMENTS = (
     SANITIZE,
     SHADOW_RETURN_STACK,
     VTABLE_INTEGRITY,
+    VRT_BOUNDS,
+    MEMORY_TAGGING,
 )
 
 
@@ -224,6 +240,21 @@ class AttackResult:
         return f"{self.name} [{self.environment}]: {status}"
 
 
+#: Every ``detected_by`` label :func:`classify_failure` can produce.
+#: The threat registry's coverage check reads this, so adding a defense
+#: exception here without mapping its label there fails the
+#: completeness test instead of shipping an unscoreable outcome.
+ALL_DETECTION_LABELS = (
+    "shadow-return-stack",
+    "vtable-integrity",
+    "vrt",
+    "memory-tagging",
+    "stackguard",
+    "bounds-check",
+    "shadow-memory",
+    "nx",
+)
+
 #: Mapping from defense-raised exceptions to the defense's name.
 _DETECTION_NAMES = (
     (StackSmashingDetected, "stackguard"),
@@ -236,12 +267,18 @@ _DETECTION_NAMES = (
 def classify_failure(exc: SimulatedProcessError) -> tuple[Optional[str], bool]:
     """(detected_by, crashed) for an exception that stopped an attack."""
     from ..defenses.shadow_stack import ReturnAddressTampering
+    from ..defenses.tagging import TagMismatchFault
+    from ..defenses.vrt import VrtBoundsViolation
     from ..defenses.vtable_integrity import VtableIntegrityViolation
 
     if isinstance(exc, ReturnAddressTampering):
         return "shadow-return-stack", False
     if isinstance(exc, VtableIntegrityViolation):
         return "vtable-integrity", False
+    if isinstance(exc, VrtBoundsViolation):
+        return "vrt", False
+    if isinstance(exc, TagMismatchFault):
+        return "memory-tagging", False
     for exc_type, name in _DETECTION_NAMES:
         if isinstance(exc, exc_type):
             return name, False

@@ -36,6 +36,15 @@
     store, ``rebaseline`` re-asserts expectations after an intentional
     detector change, and ``gc`` sweeps unreadable or tampered bundles.
 
+``repro-matrix``
+    Run the modern-mitigation sweep (see docs/DEFENSES.md): every
+    attack-gallery scenario, generator seed family, and regression
+    bundle under every defense — including the shadow call stack, VRT
+    bounds table, and memory tagging.  ``run`` evaluates (byte-identical
+    at any ``--jobs`` and on either engine), ``report`` renders a saved
+    report, and ``diff`` exits 1 on any cell-outcome drift (the CI
+    ``matrix-smoke`` gate).
+
 ``repro-score``
     Rank a multi-package MiniC++ corpus by propagated blast radius
     (see docs/SCORING.md): ``score`` prints per-package CWE/CAPEC
@@ -1457,6 +1466,196 @@ def _score_diff(args) -> int:
     if not lines:
         print("reports are equivalent")
     return 1 if lines else 0
+
+
+def _load_matrix_report(path: str):
+    """A saved sweep report, or an exit code when unreadable."""
+    import json
+    import os
+
+    if not os.path.exists(path):
+        return _fail(f"no such report: {path}")
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            report = json.load(handle)
+    except (OSError, ValueError) as error:
+        return _fail(f"cannot read report {path}: {error}")
+    if not isinstance(report, dict) or "rows" not in report:
+        return _fail(f"{path} is not a matrix sweep report")
+    return report
+
+
+def _matrix_regress_dir(args) -> Optional[str]:
+    import os
+
+    if args.no_regress:
+        return None
+    if args.regress_dir:
+        if not os.path.isdir(args.regress_dir):
+            raise LookupError(f"no such regression store: {args.regress_dir}")
+        return args.regress_dir
+    default = "corpus/regress"
+    return default if os.path.isdir(default) else None
+
+
+def _matrix_run(args) -> int:
+    from .matrix import canonical_report_json, render_report, run_sweep
+
+    defenses = (
+        tuple(name.strip() for name in args.defenses.split(",") if name.strip())
+        if args.defenses
+        else ()
+    )
+    try:
+        regress_dir = _matrix_regress_dir(args)
+        if args.jobs == 0:
+            report = run_sweep(
+                defenses=defenses,
+                engine=args.engine,
+                seed=args.seed,
+                regress_dir=regress_dir,
+                step_budget=args.step_budget,
+            )
+        else:
+            from .service import ServiceEngine
+
+            with ServiceEngine(
+                workers=args.jobs, backend=args.backend, use_cache=False
+            ) as engine:
+                report = engine.matrix_sweep(
+                    defenses=defenses,
+                    engine=args.engine,
+                    seed=args.seed,
+                    regress_dir=regress_dir,
+                    step_budget=args.step_budget,
+                )
+    except (KeyError, LookupError) as error:
+        return _fail(error.args[0] if error.args else str(error))
+    encoded = canonical_report_json(report)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(encoded + "\n")
+    if args.json:
+        print(encoded)
+    else:
+        print(render_report(report))
+    return 0
+
+
+def _matrix_report(args) -> int:
+    from .matrix import canonical_report_json, render_report
+
+    report = _load_matrix_report(args.report)
+    if isinstance(report, int):
+        return report
+    if args.json:
+        print(canonical_report_json(report))
+    else:
+        print(render_report(report))
+    return 0
+
+
+def _matrix_diff(args) -> int:
+    from .matrix import diff_reports
+
+    baseline = _load_matrix_report(args.baseline)
+    if isinstance(baseline, int):
+        return baseline
+    current = _load_matrix_report(args.current)
+    if isinstance(current, int):
+        return current
+    drift = diff_reports(baseline, current)
+    for line in drift:
+        print(line)
+    if not drift:
+        print("matrix outcomes are identical")
+    return 1 if drift else 0
+
+
+def matrix_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``repro-matrix``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-matrix",
+        description="Modern-mitigation sweep: gallery attacks, generator "
+        "seed families, and regression bundles under every defense "
+        "(see docs/DEFENSES.md)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="evaluate the sweep")
+    run_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=4,
+        metavar="N",
+        help="fan cells out over N service workers; 0 = in-process "
+        "sequential (default: 4)",
+    )
+    run_parser.add_argument(
+        "--backend",
+        choices=("thread", "process"),
+        default="thread",
+        help="service worker backend (default: thread)",
+    )
+    run_parser.add_argument(
+        "--engine",
+        choices=("ast", "bytecode"),
+        default="ast",
+        help="execution engine for program rows (default: ast); the "
+        "report is byte-identical on either",
+    )
+    run_parser.add_argument(
+        "--seed", type=int, default=1, help="generator seed-row seed (default: 1)"
+    )
+    run_parser.add_argument(
+        "--regress-dir",
+        metavar="DIR",
+        help="regression store for bundle rows (default: corpus/regress "
+        "when present)",
+    )
+    run_parser.add_argument(
+        "--no-regress",
+        action="store_true",
+        help="skip the regression-bundle rows",
+    )
+    run_parser.add_argument(
+        "--defenses",
+        help="comma-separated defense names (default: the full roster)",
+    )
+    run_parser.add_argument(
+        "--step-budget",
+        type=int,
+        default=50_000,
+        help="interpreter step budget per program cell (default: 50000)",
+    )
+    run_parser.add_argument("--out", help="write the canonical JSON report here")
+    run_parser.add_argument(
+        "--json", action="store_true", help="print canonical JSON, not the table"
+    )
+    run_parser.set_defaults(func=_matrix_run)
+
+    report_parser = sub.add_parser("report", help="render a saved sweep report")
+    report_parser.add_argument("report", help="sweep report JSON file")
+    report_parser.add_argument(
+        "--json", action="store_true", help="re-emit canonical JSON"
+    )
+    report_parser.set_defaults(func=_matrix_report)
+
+    diff_parser = sub.add_parser(
+        "diff", help="compare two sweep reports; exit 1 on outcome drift"
+    )
+    diff_parser.add_argument("baseline", help="baseline sweep report (JSON)")
+    diff_parser.add_argument("current", help="current sweep report (JSON)")
+    diff_parser.set_defaults(func=_matrix_diff)
+
+    args = parser.parse_args(argv)
+    if getattr(args, "jobs", 0) < 0:
+        return _fail("--jobs must be >= 0")
+    try:
+        return args.func(args)
+    except KeyboardInterrupt:
+        print("matrix: interrupted", file=sys.stderr)
+        return 130
 
 
 def score_main(argv: Optional[Sequence[str]] = None) -> int:

@@ -90,10 +90,28 @@ class PlacementAuditLog:
 
     def __init__(self) -> None:
         self._records: list[PlacementRecord] = []
+        self._observers: list = []
+
+    def add_observer(self, observer) -> None:
+        """Subscribe to placement events.
+
+        Observers see each :class:`PlacementRecord` as it is audited —
+        including placements at lexically-known arenas the allocation
+        tracker never saw (a local ``char[]``, a bss array).  The VRT
+        bounds table consults here; observers may raise to abort the
+        placement the way a run-time bounds check would.
+        """
+        self._observers.append(observer)
+
+    def remove_observer(self, observer) -> None:
+        """Unsubscribe a previously added observer."""
+        self._observers.remove(observer)
 
     def add(self, record: PlacementRecord) -> None:
         """Append one placement event."""
         self._records.append(record)
+        for observer in self._observers:
+            observer(record)
 
     @property
     def records(self) -> tuple[PlacementRecord, ...]:

@@ -47,6 +47,10 @@ class Instance:
         self._ctx = ctx
         self._class_def = class_def
         self._address = address
+        # Cached reference to the space's typed-guard list (mutated in
+        # place by add/remove, so the cache never goes stale); None for
+        # minimal test stubs.  Empty list == no guards == zero-cost path.
+        self._guards = getattr(ctx.space, "_typed_guards", None)
 
     # -- identity ----------------------------------------------------------
 
@@ -105,6 +109,10 @@ class Instance:
         slot = self._slot(name)
         address = self._address + slot.offset
         self._check_strict_alignment(address, slot.ctype)
+        if self._guards:
+            self._ctx.space.check_typed_access(
+                self._address, address, slot.ctype.size, False
+            )
         data = self._ctx.space.read(address, slot.ctype.size)
         return slot.ctype.decode(data)
 
@@ -115,6 +123,10 @@ class Instance:
         slot = self._slot(name)
         address = self._address + slot.offset
         self._check_strict_alignment(address, slot.ctype)
+        if self._guards:
+            self._ctx.space.check_typed_access(
+                self._address, address, slot.ctype.size, True
+            )
         self._ctx.space.write(address, slot.ctype.encode(value))
 
     def nested(self, name: str) -> "Instance":
@@ -145,9 +157,12 @@ class Instance:
     def get_element(self, name: str, index: int) -> Any:
         """Read ``field[index]`` (unchecked, like C)."""
         _, array_type = self._array_slot(name)
-        data = self._ctx.space.read(
-            self.element_address(name, index), array_type.element.size
-        )
+        address = self.element_address(name, index)
+        if self._guards:
+            self._ctx.space.check_typed_access(
+                self._address, address, array_type.element.size, False
+            )
+        data = self._ctx.space.read(address, array_type.element.size)
         return array_type.element.decode(data)
 
     def set_element(self, name: str, index: int, value: Any) -> None:
@@ -158,9 +173,12 @@ class Instance:
         mechanism behind Listings 6, 11, 12, 13 and friends.
         """
         _, array_type = self._array_slot(name)
-        self._ctx.space.write(
-            self.element_address(name, index), array_type.element.encode(value)
-        )
+        address = self.element_address(name, index)
+        if self._guards:
+            self._ctx.space.check_typed_access(
+                self._address, address, array_type.element.size, True
+            )
+        self._ctx.space.write(address, array_type.element.encode(value))
 
     # -- vptr access ------------------------------------------------------
 
@@ -211,6 +229,7 @@ class CArrayView:
         self._element = element
         self._count = count
         self._address = address
+        self._guards = getattr(ctx.space, "_typed_guards", None)
 
     @property
     def address(self) -> int:
@@ -238,14 +257,22 @@ class CArrayView:
 
     def get(self, index: int) -> Any:
         """Read ``arr[index]``, unchecked."""
-        data = self._ctx.space.read(self.element_address(index), self._element.size)
+        address = self.element_address(index)
+        if self._guards:
+            self._ctx.space.check_typed_access(
+                self._address, address, self._element.size, False
+            )
+        data = self._ctx.space.read(address, self._element.size)
         return self._element.decode(data)
 
     def set(self, index: int, value: Any) -> None:
         """Write ``arr[index]``, unchecked."""
-        self._ctx.space.write(
-            self.element_address(index), self._element.encode(value)
-        )
+        address = self.element_address(index)
+        if self._guards:
+            self._ctx.space.check_typed_access(
+                self._address, address, self._element.size, True
+            )
+        self._ctx.space.write(address, self._element.encode(value))
 
     def read_all(self) -> list:
         """Decode the declared extent."""

@@ -9,6 +9,8 @@ from .base import (
     SHADOW_DEFENSE,
     SHADOW_STACK_DEFENSE,
     STACKGUARD_DEFENSE,
+    TAGGING_DEFENSE,
+    VRT_DEFENSE,
     VTABLE_INTEGRITY_DEFENSE,
     Defense,
     EvaluationMatrix,
@@ -19,7 +21,9 @@ from .base import (
 from .aslr import StaleAddressAttack, aslr_machine, run_aslr_comparison
 from .leak_discipline import LeakOutcome, run_leak_comparison
 from .libsafe import InterceptionRecord, LibSafePlacementGuard
-from .shadow_stack import ReturnAddressTampering, ShadowReturnStack
+from .shadow_stack import ReturnAddressTampering, ShadowCallStack, ShadowReturnStack
+from .tagging import MemoryTagging, TagMismatchFault
+from .vrt import VariableRecordTable, VrtBoundsViolation
 from .vtable_integrity import VtableIntegrityGuard, VtableIntegrityViolation
 
 __all__ = [
@@ -32,15 +36,22 @@ __all__ = [
     "LeakOutcome",
     "LibSafePlacementGuard",
     "MatrixCell",
+    "MemoryTagging",
     "NX_DEFENSE",
     "SANITIZE_DEFENSE",
     "SHADOW_DEFENSE",
     "SHADOW_STACK_DEFENSE",
     "STACKGUARD_DEFENSE",
+    "TAGGING_DEFENSE",
+    "VRT_DEFENSE",
     "VTABLE_INTEGRITY_DEFENSE",
     "ReturnAddressTampering",
+    "ShadowCallStack",
     "ShadowReturnStack",
     "StaleAddressAttack",
+    "TagMismatchFault",
+    "VariableRecordTable",
+    "VrtBoundsViolation",
     "aslr_machine",
     "run_aslr_comparison",
     "VtableIntegrityGuard",

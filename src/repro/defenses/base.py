@@ -9,17 +9,19 @@ matrix.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Iterable, Optional, Sequence
 
 from ..attacks.base import (
     CHECKED_PLACEMENT,
+    MEMORY_TAGGING,
     NX_STACK,
     SANITIZE,
     SHADOW_MEMORY,
     SHADOW_RETURN_STACK,
     STACKGUARD,
     UNPROTECTED,
+    VRT_BOUNDS,
     VTABLE_INTEGRITY,
     AttackResult,
     AttackScenario,
@@ -36,6 +38,13 @@ class Defense:
     paper_ref: str = ""
     deployment: str = "modifiable"  # "modifiable" | "legacy" | "none"
     notes: str = ""
+
+    def fresh_environment(self) -> Environment:
+        """A per-run copy of the environment (fresh ``machine_config``
+        too), so no state can bleed between matrix cells."""
+        return replace(
+            self.environment, machine_config=replace(self.environment.machine_config)
+        )
 
 
 BASELINE = Defense(
@@ -91,7 +100,7 @@ SHADOW_STACK_DEFENSE = Defense(
     environment=SHADOW_RETURN_STACK,
     paper_ref="§5.2 [27][20] (return address stack)",
     deployment="legacy",
-    notes="protected copy of every return address; selective overwrites lose",
+    notes="machine-integrated shadow call stack; survives longjmp teardown",
 )
 
 VTABLE_INTEGRITY_DEFENSE = Defense(
@@ -100,6 +109,22 @@ VTABLE_INTEGRITY_DEFENSE = Defense(
     paper_ref="§3.8.2 countermeasure (forward-edge CFI)",
     deployment="legacy",
     notes="every virtual dispatch validates the vptr against emitted vtables",
+)
+
+VRT_DEFENSE = Defense(
+    name="vrt",
+    environment=VRT_BOUNDS,
+    paper_ref="§5.2 rebuttal (arXiv 1909.07821 variable record table)",
+    deployment="legacy",
+    notes="runtime per-variable bounds table consulted at placements and accesses",
+)
+
+TAGGING_DEFENSE = Defense(
+    name="memory-tagging",
+    environment=MEMORY_TAGGING,
+    paper_ref="§5.2 rebuttal (GANDALF/MTE tag-checked segments)",
+    deployment="legacy",
+    notes="4-bit allocation colours; cross-colour stores and typed accesses fault",
 )
 
 ALL_DEFENSES: tuple[Defense, ...] = (
@@ -111,6 +136,8 @@ ALL_DEFENSES: tuple[Defense, ...] = (
     SANITIZE_DEFENSE,
     SHADOW_STACK_DEFENSE,
     VTABLE_INTEGRITY_DEFENSE,
+    VRT_DEFENSE,
+    TAGGING_DEFENSE,
 )
 
 
@@ -145,25 +172,44 @@ class MatrixCell:
 
 @dataclass
 class EvaluationMatrix:
-    """The E14 attack × defense matrix."""
+    """The E14 attack × defense matrix.
+
+    Cells are indexed by ``(attack, defense)`` as they are added, so
+    :meth:`cell` is O(1) and :meth:`render` is O(cells) — the previous
+    linear-scan lookup made rendering quadratic in the cell count, which
+    the full gallery × defense sweep turned into real seconds.
+    """
 
     defenses: Sequence[Defense]
     cells: list[MatrixCell] = field(default_factory=list)
 
+    def __post_init__(self) -> None:
+        self._index: dict[tuple[str, str], MatrixCell] = {
+            (cell.attack, cell.defense): cell for cell in self.cells
+        }
+
+    def add(self, cell: MatrixCell) -> None:
+        """Append a cell and index it."""
+        self.cells.append(cell)
+        self._index[(cell.attack, cell.defense)] = cell
+
+    def _reindex(self) -> None:
+        # Tolerate callers that appended to ``cells`` directly (the old
+        # public surface) by rebuilding lazily when the index is stale.
+        self._index = {(cell.attack, cell.defense): cell for cell in self.cells}
+
     def cell(self, attack_name: str, defense_name: str) -> Optional[MatrixCell]:
-        """Look one outcome up."""
-        for cell in self.cells:
-            if cell.attack == attack_name and cell.defense == defense_name:
-                return cell
-        return None
+        """Look one outcome up (O(1))."""
+        if len(self._index) != len(self.cells):
+            self._reindex()
+        return self._index.get((attack_name, defense_name))
 
     def attack_names(self) -> list[str]:
         """Row labels, in insertion order."""
-        seen: list[str] = []
+        seen: dict[str, None] = {}
         for cell in self.cells:
-            if cell.attack not in seen:
-                seen.append(cell.attack)
-        return seen
+            seen.setdefault(cell.attack)
+        return list(seen)
 
     def wins_for_defense(self, defense_name: str) -> int:
         """How many attacks still succeed under a defense."""
@@ -175,18 +221,24 @@ class EvaluationMatrix:
 
     def render(self, column_width: int = 22) -> str:
         """A fixed-width table suitable for harness output."""
+        if len(self._index) != len(self.cells):
+            self._reindex()
         header = f"{'attack':40s}" + "".join(
             f"{d.name:>{column_width}s}" for d in self.defenses
         )
         lines = [header, "-" * len(header)]
+        wins = {d.name: 0 for d in self.defenses}
+        for cell in self.cells:
+            if cell.result.succeeded and cell.defense in wins:
+                wins[cell.defense] += 1
         for attack_name in self.attack_names():
             row = f"{attack_name:40s}"
             for defense in self.defenses:
-                cell = self.cell(attack_name, defense.name)
+                cell = self._index.get((attack_name, defense.name))
                 row += f"{cell.summary if cell else '?':>{column_width}s}"
             lines.append(row)
         totals = f"{'attacks succeeding':40s}" + "".join(
-            f"{self.wins_for_defense(d.name):>{column_width}d}" for d in self.defenses
+            f"{wins[d.name]:>{column_width}d}" for d in self.defenses
         )
         lines.append("-" * len(header))
         lines.append(totals)
@@ -197,12 +249,18 @@ def evaluate_matrix(
     scenarios: Iterable[AttackScenario],
     defenses: Sequence[Defense] = ALL_DEFENSES,
 ) -> EvaluationMatrix:
-    """Run every scenario under every defense."""
+    """Run every scenario under every defense.
+
+    Each cell gets a *fresh* environment (``Defense.fresh_environment``)
+    rather than the defense's shared instance: reusing one environment
+    object across scenarios let machine-config state bleed between
+    cells, making outcomes depend on scenario order.
+    """
     matrix = EvaluationMatrix(defenses=tuple(defenses))
     for scenario in scenarios:
         for defense in defenses:
-            result = scenario.run(defense.environment)
-            matrix.cells.append(
+            result = scenario.run(defense.fresh_environment())
+            matrix.add(
                 MatrixCell(attack=scenario.name, defense=defense.name, result=result)
             )
     return matrix

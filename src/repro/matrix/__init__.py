@@ -1,0 +1,39 @@
+"""Attack × defense sweep over gallery, seed, and regression rows."""
+
+from .sweep import (
+    DEFAULT_SEED,
+    DEFAULT_STEP_BUDGET,
+    SCHEMA,
+    MatrixRow,
+    attack_rows,
+    build_report,
+    canonical_report_json,
+    collect_rows,
+    diff_reports,
+    evaluate_cell,
+    regress_rows,
+    render_report,
+    run_attack_cell,
+    run_program_cell,
+    run_sweep,
+    seed_rows,
+)
+
+__all__ = [
+    "DEFAULT_SEED",
+    "DEFAULT_STEP_BUDGET",
+    "SCHEMA",
+    "MatrixRow",
+    "attack_rows",
+    "build_report",
+    "canonical_report_json",
+    "collect_rows",
+    "diff_reports",
+    "evaluate_cell",
+    "regress_rows",
+    "render_report",
+    "run_attack_cell",
+    "run_program_cell",
+    "run_sweep",
+    "seed_rows",
+]

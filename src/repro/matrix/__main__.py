@@ -1,0 +1,8 @@
+"""``python -m repro.matrix`` — the repro-matrix front end."""
+
+import sys
+
+from ..cli import matrix_main
+
+if __name__ == "__main__":
+    sys.exit(matrix_main())

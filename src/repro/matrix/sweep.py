@@ -1,0 +1,406 @@
+"""The modern-mitigation sweep: every workload × every defense.
+
+The E14 matrix evaluates the hand-written attack gallery.  This module
+widens both axes: rows are the gallery scenarios *plus* the vulnerable
+twin of every generator seed family *plus* every committed regression
+bundle, and columns are the full defense roster including the modern
+mitigations (shadow call stack, VRT, memory tagging).  Program rows run
+on the simulated machine built by the defense's environment — which is
+how the sweep demonstrates, mechanically, that the §5.1 *source fix*
+(checked placement) cannot protect programs it was never compiled into,
+while the machine-level mitigations can.
+
+Determinism is load-bearing: cell evaluation is pure (fresh machine,
+seeded canaries, fixed stdin), rows and defenses are ordered, and the
+report is canonical JSON with no engine or timing fields — so the same
+sweep is byte-identical at any worker count and on either execution
+engine, which is what lets CI diff a committed baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from ..attacks import all_attacks, attack_by_name
+from ..attacks.base import classify_failure
+from ..defenses import ALL_DEFENSES, defense_by_name
+from ..errors import SimulatedProcessError
+
+#: Schema stamp for saved sweep reports.
+SCHEMA = 1
+
+#: Campaign seed the seed-family rows are generated under.
+DEFAULT_SEED = 1
+
+#: Step budget for program rows (matches the fuzz oracle default).
+DEFAULT_STEP_BUDGET = 50_000
+
+
+@dataclass(frozen=True)
+class MatrixRow:
+    """One sweep row: an attack scenario or a runnable program."""
+
+    kind: str  # "attack" | "seed" | "regress"
+    row_id: str
+    source: str = ""
+    stdin: tuple = ()
+
+    @property
+    def is_program(self) -> bool:
+        return self.kind != "attack"
+
+
+# -- row collection ---------------------------------------------------------
+
+
+def attack_rows() -> list:
+    """The gallery scenarios, in gallery order."""
+    return [
+        MatrixRow(kind="attack", row_id=scenario.name)
+        for scenario in all_attacks()
+    ]
+
+
+def seed_rows(seed: int = DEFAULT_SEED) -> list:
+    """The vulnerable twin of every generator seed family."""
+    from ..fuzz.seeds import generator_seeds
+
+    return [
+        MatrixRow(
+            kind="seed",
+            row_id=entry.family,
+            source=entry.source,
+            stdin=tuple(entry.stdin),
+        )
+        for entry in generator_seeds(seed)
+        if entry.label == "vulnerable"
+    ]
+
+
+def regress_rows(store_dir: str) -> list:
+    """Every committed regression bundle, in bundle-id order."""
+    from ..regress import RegressionStore
+
+    store = RegressionStore(store_dir, create=False)
+    return [
+        MatrixRow(
+            kind="regress",
+            row_id=bundle.bundle_id,
+            source=bundle.source,
+            stdin=tuple(bundle.stdin),
+        )
+        for bundle in store.bundles()
+    ]
+
+
+def collect_rows(
+    seed: int = DEFAULT_SEED, regress_dir: Optional[str] = None
+) -> list:
+    """The full deterministic row list for one sweep."""
+    rows = attack_rows() + seed_rows(seed)
+    if regress_dir:
+        rows += regress_rows(regress_dir)
+    return rows
+
+
+# -- cell evaluation --------------------------------------------------------
+
+
+def _cell(summary: str, succeeded: bool, detected_by, crashed: bool) -> dict:
+    return {
+        "summary": summary,
+        "succeeded": succeeded,
+        "detected_by": detected_by,
+        "crashed": crashed,
+    }
+
+
+def run_attack_cell(attack_name: str, defense_name: str) -> dict:
+    """One gallery scenario under one defense (fresh environment)."""
+    scenario = attack_by_name(attack_name)
+    defense = defense_by_name(defense_name)
+    result = scenario.run(defense.fresh_environment())
+    if result.succeeded:
+        summary = "ATTACK-WINS"
+    elif result.detected_by:
+        summary = f"detected({result.detected_by})"
+    elif result.crashed:
+        summary = "crashed"
+    else:
+        summary = "prevented"
+    return _cell(summary, result.succeeded, result.detected_by, result.crashed)
+
+
+def run_program_cell(
+    source: str,
+    stdin: Sequence,
+    defense_name: str,
+    engine: str = "ast",
+    step_budget: int = DEFAULT_STEP_BUDGET,
+) -> dict:
+    """One MiniC++ program on the defense environment's machine.
+
+    The run mirrors the fuzz dynamic oracle (entry planning, password
+    file, memory-event tap, secret-leak probe) except that the machine
+    comes from ``defense.fresh_environment().make_machine()``, so
+    machine-level mitigations are armed while source-level disciplines
+    (checked placement, sanitize-on-reuse) have nothing to hook — the
+    interpreter places objects itself, exactly the legacy-code gap §5
+    worries about.
+    """
+    from ..fuzz.oracles import (
+        DEFAULT_STDIN,
+        VULNERABLE_EVENTS,
+        _entry_plan,
+        _secret_leaked,
+    )
+    from ..memory import MemoryEventTap
+    from ..runtime import password_file
+
+    defense = defense_by_name(defense_name)
+    env = defense.fresh_environment()
+    try:
+        plan = _entry_plan(source)
+    except Exception:
+        return _cell("invalid", False, None, False)
+    if plan is None:
+        return _cell("invalid", False, None, False)
+    entry, args = plan
+
+    machine = env.make_machine()
+    machine.files.add(password_file())
+    tap = MemoryEventTap(machine.space)
+    machine.event_tap = tap
+    machine.space.add_access_hook(tap)
+
+    compiled = None
+    if engine == "bytecode":
+        from ..execution.vm import compiled_for
+
+        compiled, _ = compiled_for(source)
+
+    events: set = set()
+    executor = None
+    feed = tuple(stdin) or DEFAULT_STDIN
+    try:
+        if compiled is not None:
+            from ..execution.vm import BytecodeVM
+
+            executor = BytecodeVM(
+                compiled, machine=machine, step_budget=step_budget
+            )
+            if feed:
+                machine.stdin.feed(*feed)
+            outcome = executor.run(entry, *args)
+        else:
+            from ..execution import run_source
+
+            executor, outcome = run_source(
+                source,
+                entry=entry,
+                args=args,
+                machine=machine,
+                stdin=feed,
+                step_budget=step_budget,
+            )
+        if outcome.frame_exit is not None and outcome.frame_exit.hijacked:
+            events.add("hijack")
+    except SimulatedProcessError as error:
+        detected_by, crashed = classify_failure(error)
+        if detected_by:
+            return _cell(f"detected({detected_by})", False, detected_by, False)
+        return _cell("crashed", False, None, True)
+    except Exception:
+        return _cell("invalid", False, None, False)
+
+    for record in machine.placement_log.records:
+        if record.overflows_arena:
+            events.add("placement-overflow")
+    if executor is not None and _secret_leaked(executor.stored):
+        events.add("leak-detected")
+    events.update(tap.kinds)
+    if events & VULNERABLE_EVENTS:
+        return _cell("ATTACK-WINS", True, None, False)
+    return _cell("prevented", False, None, False)
+
+
+def evaluate_cell(payload: dict) -> dict:
+    """Worker-shaped cell evaluation (dict in, dict out)."""
+    row_kind = payload.get("row_kind", "attack")
+    defense = payload.get("defense", "none")
+    if row_kind == "attack":
+        cell = run_attack_cell(payload["row_id"], defense)
+    else:
+        cell = run_program_cell(
+            payload.get("source", ""),
+            tuple(payload.get("stdin") or ()),
+            defense,
+            engine=payload.get("engine") or "ast",
+            step_budget=payload.get("step_budget") or DEFAULT_STEP_BUDGET,
+        )
+    cell["row_kind"] = row_kind
+    cell["row_id"] = payload["row_id"]
+    cell["defense"] = defense
+    return cell
+
+
+# -- report assembly --------------------------------------------------------
+
+
+def build_report(
+    rows: Sequence,
+    defense_names: Sequence[str],
+    cells: Iterable[dict],
+) -> dict:
+    """Assemble the canonical sweep report from evaluated cells.
+
+    ``cells`` must arrive in row-major submission order (every defense
+    for row 0, then row 1, ...).  The report carries no engine, worker
+    count, or timing — byte-identity across those knobs is the point.
+    """
+    from ..score.threats import risks_from_matrix
+
+    cell_list = list(cells)
+    report_rows = []
+    totals = {name: 0 for name in defense_names}
+    index = 0
+    for row in rows:
+        row_cells = {}
+        for name in defense_names:
+            cell = cell_list[index]
+            index += 1
+            row_cells[name] = cell["summary"]
+            if cell["succeeded"]:
+                totals[name] += 1
+        report_rows.append(
+            {"kind": row.kind, "id": row.row_id, "cells": row_cells}
+        )
+    matrix_dict = {
+        "cells": [
+            {
+                "attack": cell["row_id"],
+                "defense": cell["defense"],
+                "summary": cell["summary"],
+            }
+            for cell in cell_list
+            if cell.get("row_kind") == "attack"
+        ]
+    }
+    risks = [risk.to_dict() for risk in risks_from_matrix(matrix_dict)]
+    return {
+        "schema": SCHEMA,
+        "defenses": list(defense_names),
+        "rows": report_rows,
+        "attacks_succeeding": totals,
+        "risks": risks,
+    }
+
+
+def canonical_report_json(report: dict) -> str:
+    """The byte-stable encoding used for baselines and ``--json``."""
+    return json.dumps(report, sort_keys=True, separators=(",", ":"))
+
+
+def render_report(report: dict, column_width: int = 24) -> str:
+    """A fixed-width table of the sweep (rows grouped by kind)."""
+    defenses = report["defenses"]
+    header = f"{'row':44s}" + "".join(
+        f"{name:>{column_width}s}" for name in defenses
+    )
+    lines = [header, "-" * len(header)]
+    for row in report["rows"]:
+        label = f"{row['kind']}:{row['id']}"
+        line = f"{label:44s}" + "".join(
+            f"{row['cells'].get(name, '?'):>{column_width}s}"
+            for name in defenses
+        )
+        lines.append(line)
+    lines.append("-" * len(header))
+    totals = report["attacks_succeeding"]
+    lines.append(
+        f"{'rows where the attack wins':44s}"
+        + "".join(f"{totals.get(name, 0):>{column_width}d}" for name in defenses)
+    )
+    if report.get("risks"):
+        lines.append(f"risks (matrix-cell evidence): {len(report['risks'])}")
+    return "\n".join(lines)
+
+
+def diff_reports(baseline: dict, current: dict) -> list:
+    """Cell-level outcome drift between two sweep reports.
+
+    Returns human-readable drift lines; empty means no drift.  Rows or
+    defenses present on one side only are drift too — a silently
+    vanished row must fail the gate, not shrink it.
+    """
+    drift = []
+    base_defenses = list(baseline.get("defenses", ()))
+    cur_defenses = list(current.get("defenses", ()))
+    if base_defenses != cur_defenses:
+        drift.append(
+            f"defense roster changed: {base_defenses} -> {cur_defenses}"
+        )
+    base_rows = {
+        (row["kind"], row["id"]): row["cells"]
+        for row in baseline.get("rows", ())
+    }
+    cur_rows = {
+        (row["kind"], row["id"]): row["cells"]
+        for row in current.get("rows", ())
+    }
+    for key in sorted(base_rows.keys() | cur_rows.keys()):
+        kind, row_id = key
+        base_cells = base_rows.get(key)
+        cur_cells = cur_rows.get(key)
+        if base_cells is None:
+            drift.append(f"{kind}:{row_id}: new row (not in baseline)")
+            continue
+        if cur_cells is None:
+            drift.append(f"{kind}:{row_id}: row missing from current sweep")
+            continue
+        for name in sorted(base_cells.keys() | cur_cells.keys()):
+            before = base_cells.get(name, "<absent>")
+            after = cur_cells.get(name, "<absent>")
+            if before != after:
+                drift.append(
+                    f"{kind}:{row_id} under {name}: {before} -> {after}"
+                )
+    return drift
+
+
+# -- sequential driver ------------------------------------------------------
+
+
+def run_sweep(
+    rows: Optional[Sequence] = None,
+    defenses: Sequence[str] = (),
+    engine: str = "ast",
+    seed: int = DEFAULT_SEED,
+    regress_dir: Optional[str] = None,
+    step_budget: int = DEFAULT_STEP_BUDGET,
+) -> dict:
+    """Evaluate the sweep in-process, sequentially (the ``--jobs 0``
+    path and the reference the fanned-out path must byte-match)."""
+    if rows is None:
+        rows = collect_rows(seed=seed, regress_dir=regress_dir)
+    defense_names = list(defenses) or [d.name for d in ALL_DEFENSES]
+    for name in defense_names:
+        defense_by_name(name)  # reject unknown names up front
+    cells = [
+        evaluate_cell(
+            {
+                "row_kind": row.kind,
+                "row_id": row.row_id,
+                "source": row.source,
+                "stdin": tuple(row.stdin),
+                "defense": name,
+                "engine": "" if row.kind == "attack" else engine,
+                "step_budget": step_budget,
+            }
+        )
+        for row in rows
+        for name in defense_names
+    ]
+    return build_report(rows, defense_names, cells)

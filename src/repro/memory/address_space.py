@@ -35,6 +35,14 @@ DEFAULT_LAYOUT = {
 #: Signature of a memory-access observer: (address, data, is_write).
 AccessHook = Callable[[int, bytes, bool], None]
 
+#: Signature of a typed-access guard: (base, address, length, is_write).
+#: Unlike an :data:`AccessHook`, a guard also receives the *referent* —
+#: the base address of the object or array the access was derived from —
+#: so provenance-aware defenses (per-allocation bounds tables, memory
+#: tagging) can reject a dereference that a raw address trace cannot
+#: distinguish from a legitimate neighbour access.
+TypedGuard = Callable[[int, int, int, bool], None]
+
 
 class AddressSpace:
     """Byte-addressable memory of one simulated process."""
@@ -58,6 +66,7 @@ class AddressSpace:
         self.strict_alignment = strict_alignment
         self._segments: list[Segment] = []
         self._hooks: list[AccessHook] = []
+        self._typed_guards: list[TypedGuard] = []
         geometry = dict(DEFAULT_LAYOUT)
         if layout:
             geometry.update(layout)
@@ -159,6 +168,31 @@ class AddressSpace:
         # path never pays for the call or the notification copy.
         for hook in self._hooks:
             hook(address, data, is_write)
+
+    def add_typed_guard(self, guard: TypedGuard) -> None:
+        """Register a provenance-aware guard for typed accesses.
+
+        Typed views (:class:`~repro.cxx.object_model.Instance`,
+        :class:`~repro.cxx.object_model.CArrayView`) call every guard
+        before each field/element access with the view's base address as
+        the referent.  Guards raise to fault the access.  Note that
+        ``locate()`` keeps returning fast-path ranges while only typed
+        guards are registered — typed access never goes through
+        ``locate`` — so guards that also need to see *raw* bulk accesses
+        must register an :data:`AccessHook` as well.
+        """
+        self._typed_guards.append(guard)
+
+    def remove_typed_guard(self, guard: TypedGuard) -> None:
+        """Unregister a previously added typed guard."""
+        self._typed_guards.remove(guard)
+
+    def check_typed_access(
+        self, base: int, address: int, length: int, is_write: bool
+    ) -> None:
+        """Run every typed guard for an access derived from ``base``."""
+        for guard in self._typed_guards:
+            guard(base, address, length, is_write)
 
     # -- raw access ----------------------------------------------------------
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 
 class ArenaOrigin(enum.Enum):
@@ -47,12 +47,36 @@ class ArenaRecord:
         return 0
 
 
+#: Signature of an allocation-lifecycle observer.  ``event`` is one of
+#: ``"record"`` / ``"relabel"`` / ``"forget"`` / ``"freed"``; runtime
+#: defenses (the VRT bounds table, memory tagging) subscribe here so they
+#: see every arena the moment the allocator does.  Observers run *after*
+#: the tracker's own bookkeeping and may raise — a relabel that exceeds
+#: the recorded bounds is exactly where the VRT faults.
+AllocationObserver = Callable[[str, "ArenaRecord"], None]
+
+
 class AllocationTracker:
     """Registry of arenas with leak accounting."""
 
     def __init__(self) -> None:
         self._records: dict[int, ArenaRecord] = {}
         self._freed_records: list[ArenaRecord] = []
+        self._observers: list[AllocationObserver] = []
+
+    # -- observers ----------------------------------------------------------
+
+    def add_observer(self, observer: AllocationObserver) -> None:
+        """Subscribe to arena lifecycle events."""
+        self._observers.append(observer)
+
+    def remove_observer(self, observer: AllocationObserver) -> None:
+        """Unsubscribe a previously added observer."""
+        self._observers.remove(observer)
+
+    def _notify(self, event: str, record: ArenaRecord) -> None:
+        for observer in self._observers:
+            observer(event, record)
 
     def record(
         self,
@@ -71,6 +95,8 @@ class AllocationTracker:
         )
         record.history.append(f"allocated {size}B as {label or origin.value}")
         self._records[address] = record
+        if self._observers:
+            self._notify("record", record)
         return record
 
     def relabel(self, address: int, new_size: int, label: str = "") -> Optional[ArenaRecord]:
@@ -84,6 +110,8 @@ class AllocationTracker:
             return None
         record.believed_size = new_size
         record.history.append(f"relabelled to {new_size}B ({label})")
+        if self._observers:
+            self._notify("relabel", record)
         return record
 
     def forget(self, address: int) -> Optional[ArenaRecord]:
@@ -93,7 +121,10 @@ class AllocationTracker:
         frame pop) rather than by an explicit free — no deallocation
         happened, so Listing 23's believed-size arithmetic must not run.
         """
-        return self._records.pop(address, None)
+        record = self._records.pop(address, None)
+        if record is not None and self._observers:
+            self._notify("forget", record)
+        return record
 
     def mark_freed(self, address: int) -> Optional[ArenaRecord]:
         """The program released the arena *at its believed size*."""
@@ -106,6 +137,8 @@ class AllocationTracker:
             f"(true {record.true_size}B)"
         )
         self._freed_records.append(record)
+        if self._observers:
+            self._notify("freed", record)
         return record
 
     # -- accounting ---------------------------------------------------------

@@ -88,6 +88,11 @@ class Machine:
         #: Optional MemoryEventTap; writers that install vptrs announce
         #: the slot through it so later tampering is distinguishable.
         self.event_tap = None
+        #: Optional shadow call stack (:mod:`repro.defenses.shadow_stack`).
+        #: When set, every push_frame records the frame's return address
+        #: in protected storage and every pop_frame verifies it — the
+        #: machine-integrated equivalent of a hardware shadow stack.
+        self.call_shadow = None
         self.events: list[str] = []
         self.syscalls: list[str] = []
         self._globals: dict[str, GlobalVar] = {}
@@ -255,7 +260,7 @@ class Machine:
         slots = FrameSlots(
             return_slot=return_slot, fp_slot=fp_slot, canary_slot=canary_slot
         )
-        return CallFrame(
+        frame = CallFrame(
             machine=self,
             name=name,
             slots=slots,
@@ -264,6 +269,9 @@ class Machine:
             saved_sp=saved_sp,
             canary_value=canary_value,
         )
+        if self.call_shadow is not None:
+            self.call_shadow.record_call(frame)
+        return frame
 
     def pop_frame(self, frame: CallFrame) -> FrameExit:
         """Simulate the epilogue + ``ret``.
@@ -293,6 +301,10 @@ class Machine:
         if saved_fp is not None and saved_fp != frame.saved_fp:
             fp_clobbered = True
         return_target = frame.read_return_address()
+        if self.call_shadow is not None:
+            # Shadow-stack check runs where the hardware's would: after
+            # the canary (gcc epilogue order) and before the transfer.
+            self.call_shadow.check_return(frame, return_target)
         self.stack.pop_to(frame.saved_sp)
         if return_target == frame.original_return:
             return FrameExit(

@@ -210,6 +210,61 @@ class ServiceEngine:
             "attacks_succeeding": wins,
         }
 
+    def matrix_sweep(
+        self,
+        rows=None,
+        defenses: Sequence[str] = (),
+        engine: str = "ast",
+        seed: int = 1,
+        regress_dir: Optional[str] = None,
+        step_budget: int = 50_000,
+        timeout: float = 120.0,
+    ) -> dict:
+        """The full modern-mitigation sweep, fanned out cell-per-job.
+
+        Rows default to gallery attacks + generator seed families (+
+        regression bundles when ``regress_dir`` is given); cells are
+        submitted row-major and collected in submission order, so the
+        returned report is byte-identical to the sequential
+        :func:`repro.matrix.run_sweep` at any worker count.
+        """
+        from ..matrix.sweep import build_report, collect_rows
+        from .jobs import MatrixCellJob
+
+        if rows is None:
+            rows = collect_rows(seed=seed, regress_dir=regress_dir)
+        defense_names = list(defenses) or [d.name for d in ALL_DEFENSES]
+        for name in defense_names:
+            defense_by_name(name)  # reject unknown names up front
+        handles = [
+            self.scheduler.submit(
+                MatrixCellJob(
+                    row_kind=row.kind,
+                    row_id=row.row_id,
+                    source=row.source,
+                    stdin=tuple(row.stdin),
+                    defense=name,
+                    engine="" if row.kind == "attack" else engine,
+                    step_budget=step_budget,
+                ),
+                priority=NORMAL_PRIORITY,
+                timeout=timeout,
+            )
+            for row in rows
+            for name in defense_names
+        ]
+        cells = [handle.result() for handle in handles]
+        report = build_report(rows, defense_names, cells)
+        self.metrics.counter("matrix.sweeps_total").inc()
+        self.metrics.counter("matrix.cells_total").inc(len(cells))
+        self.metrics.gauge("matrix.rows").set(len(rows))
+        self.metrics.gauge("matrix.defenses").set(len(defense_names))
+        self.metrics.gauge("matrix.attack_wins").set(
+            sum(report["attacks_succeeding"].values())
+        )
+        self.metrics.gauge("matrix.risks").set(len(report["risks"]))
+        return report
+
     # -- execution ---------------------------------------------------------
 
     def execute(

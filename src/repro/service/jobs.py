@@ -100,6 +100,29 @@ class MatrixJob(Job):
 
 
 @dataclass(frozen=True)
+class MatrixCellJob(Job):
+    """Evaluate one sweep cell: a row (gallery attack or runnable
+    program) under one defense.
+
+    Cacheable: the evaluation is pure — fresh machine, seeded canaries,
+    fixed stdin — so a cell's outcome is a function of its payload and
+    the code version the cache already keys on.  Attack rows normalize
+    ``engine`` to ``""`` (the gallery doesn't execute MiniC++), so both
+    engines share one cache entry.
+    """
+
+    row_kind: str = "attack"  # "attack" | "seed" | "regress"
+    row_id: str = ""
+    source: str = ""
+    stdin: tuple = ()
+    defense: str = "none"
+    engine: str = ""  # "" for attack rows; "ast" | "bytecode" otherwise
+    step_budget: int = 50_000
+
+    KIND = "matrix-cell"
+
+
+@dataclass(frozen=True)
 class FuzzCampaignJob(Job):
     """One batch of a differential fuzzing campaign (see ``repro.fuzz``).
 

@@ -172,6 +172,17 @@ def run_matrix(payload: dict) -> dict:
     }
 
 
+def run_matrix_cell(payload: dict) -> dict:
+    """Worker for :class:`MatrixCellJob` (one sweep cell).
+
+    Lazily imported so the service layer does not pull the sweep stack
+    (fuzz oracles, regress store) in at import time.
+    """
+    from ..matrix.sweep import evaluate_cell
+
+    return evaluate_cell(payload)
+
+
 def run_exec(payload: dict) -> dict:
     """Worker for :class:`ExecJob`."""
     from ..execution import run_source
@@ -292,6 +303,7 @@ WORKER_REGISTRY: dict = {
     "analyze": run_analyze,
     "attack": run_attack,
     "matrix": run_matrix,
+    "matrix-cell": run_matrix_cell,
     "exec": run_exec,
     "fuzz-campaign": run_fuzz_campaign,
     "regress-replay": run_regress_replay,

@@ -17,6 +17,7 @@ class TestSharedExitConvention:
             ("repro.cli:serve_main", ["--workers", "0"]),
             ("repro.cli:cluster_main", ["--shards", "0"]),
             ("repro.cli:fuzz_main", ["run", "--jobs", "-1"]),
+            ("repro.cli:matrix_main", ["run", "--jobs", "-1"]),
             ("repro.cli:regress_main", ["list", "--store", "/no/such/store"]),
             ("repro.cli:score_main", ["rank", "/no/such/packages"]),
             ("repro.bench:bench_main", ["--benchmarks-dir", "/no/such/dir"]),
